@@ -1,0 +1,40 @@
+# Benchmark harness: one binary per paper table/figure plus micro kernels.
+# Included from the top-level CMakeLists so build/bench/ contains only
+# executables.
+
+add_library(odq_bench_common STATIC ${CMAKE_SOURCE_DIR}/bench/common.cpp)
+target_link_libraries(odq_bench_common PUBLIC odq)
+target_include_directories(odq_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+
+function(odq_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE odq_bench_common)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+odq_add_bench(bench_fig01_motivation)
+odq_add_bench(bench_fig02_lowprec_inputs)
+odq_add_bench(bench_fig03_precision_loss)
+odq_add_bench(bench_fig04_highprec_inputs)
+odq_add_bench(bench_fig05_computation_waste)
+odq_add_bench(bench_fig09_10_insensitive)
+odq_add_bench(bench_fig11_static_idle)
+odq_add_bench(bench_table1_pe_config)
+odq_add_bench(bench_fig18_accuracy)
+odq_add_bench(bench_fig19_execution_time)
+odq_add_bench(bench_fig20_odq_idle)
+odq_add_bench(bench_fig21_energy)
+odq_add_bench(bench_fig22_threshold)
+odq_add_bench(bench_table3_thresholds)
+
+# google-benchmark micro kernels.
+add_executable(bench_micro_kernels ${CMAKE_SOURCE_DIR}/bench/bench_micro_kernels.cpp)
+target_link_libraries(bench_micro_kernels PRIVATE odq_bench_common benchmark::benchmark)
+set_target_properties(bench_micro_kernels PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Ablations of the design choices DESIGN.md calls out.
+odq_add_bench(bench_ablation_scheduler)
+odq_add_bench(bench_ablation_precision)
+odq_add_bench(bench_cyclesim_validation)

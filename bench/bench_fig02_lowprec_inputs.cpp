@@ -1,0 +1,43 @@
+// Figure 2: percentage of low-precision inputs used in generating
+// *sensitive* outputs under input-directed quantization (DRQ) on ResNet-20.
+// Four shares per layer: receptive fields with 0-25 / 25-50 / 50-75 /
+// 75-100 % low-precision inputs.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace odq;
+  bench::print_header(
+      "bench_fig02_lowprec_inputs",
+      "Figure 2 (% low-precision inputs per sensitive output, DRQ, "
+      "ResNet-20)",
+      "paper: most sensitive outputs use >25% low-precision inputs; some "
+      "layers >75%");
+
+  drq::DrqConfig cfg = bench::default_drq_config();
+  cfg.input_threshold = -1.0f;  // per-layer 50% quantile calibration
+  const auto layers = bench::analyze_model_layers("resnet20", 10, cfg, 0.3f);
+
+  std::printf("%-6s %-10s %-10s %-10s %-10s %s\n", "layer", "0-25%",
+              "25-50%", "50-75%", "75-100%", "sens.out(%)");
+  bench::print_rule();
+  int layers_over_25 = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& a = layers[i];
+    std::printf("C%-5zu %-10.2f %-10.2f %-10.2f %-10.2f %.1f\n", i + 1,
+                a.lowprec_share_hist[0], a.lowprec_share_hist[1],
+                a.lowprec_share_hist[2], a.lowprec_share_hist[3],
+                100.0 * a.sensitive_output_fraction);
+    if (a.lowprec_share_hist[1] + a.lowprec_share_hist[2] +
+            a.lowprec_share_hist[3] >
+        0.5) {
+      ++layers_over_25;
+    }
+  }
+  bench::print_rule();
+  std::printf("layers where most sensitive outputs use >25%% low-precision "
+              "inputs: %d / %zu (paper: almost every layer)\n",
+              layers_over_25, layers.size());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 4: percentage of high-precision inputs used in generating
+// *insensitive* outputs under DRQ (ResNet-20) — the wasted-precision side
+// of the input-directed mismatch.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace odq;
+  bench::print_header(
+      "bench_fig04_highprec_inputs",
+      "Figure 4 (% high-precision inputs per insensitive output, DRQ, "
+      "ResNet-20)",
+      "paper: >25% high-precision inputs in many layers; >50% in C1, C2, "
+      "C4, C7, C11");
+
+  drq::DrqConfig cfg = bench::default_drq_config();
+  cfg.input_threshold = -1.0f;
+  const auto layers = bench::analyze_model_layers("resnet20", 10, cfg, 0.3f);
+
+  std::printf("%-6s %-10s %-10s %-10s %-10s %s\n", "layer", "0-25%",
+              "25-50%", "50-75%", "75-100%", "insens.out(%)");
+  bench::print_rule();
+  int layers_over_25 = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& a = layers[i];
+    std::printf("C%-5zu %-10.2f %-10.2f %-10.2f %-10.2f %.1f\n", i + 1,
+                a.highprec_share_hist[0], a.highprec_share_hist[1],
+                a.highprec_share_hist[2], a.highprec_share_hist[3],
+                100.0 * (1.0 - a.sensitive_output_fraction));
+    if (a.highprec_share_hist[1] + a.highprec_share_hist[2] +
+            a.highprec_share_hist[3] >
+        0.5) {
+      ++layers_over_25;
+    }
+  }
+  bench::print_rule();
+  std::printf("layers where most insensitive outputs use >25%% "
+              "high-precision inputs: %d / %zu\n",
+              layers_over_25, layers.size());
+  return 0;
+}

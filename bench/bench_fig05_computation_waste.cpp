@@ -1,0 +1,33 @@
+// Figure 5: computation waste (Eq. 1 "extra precision") from using
+// high-precision inputs to produce insensitive outputs under DRQ
+// (ResNet-20):  Extra_precision = max |O_IDQ - O_LP_input| over insensitive
+// outputs.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace odq;
+  bench::print_header(
+      "bench_fig05_computation_waste",
+      "Figure 5 (Eq. 1 extra precision on insensitive outputs, DRQ, "
+      "ResNet-20)",
+      "paper: up to 0.21 of removable extra precision per layer");
+
+  drq::DrqConfig cfg = bench::default_drq_config();
+  cfg.input_threshold = -1.0f;
+  const auto layers = bench::analyze_model_layers("resnet20", 10, cfg, 0.3f);
+
+  std::printf("%-6s %s\n", "layer", "extra precision (Eq. 1)");
+  bench::print_rule();
+  double mx = 0.0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    std::printf("C%-5zu %.4f\n", i + 1, layers[i].extra_precision_insensitive);
+    mx = std::max(mx, layers[i].extra_precision_insensitive);
+  }
+  bench::print_rule();
+  std::printf("max extra precision across layers: %.4f — precision spent on "
+              "outputs that tolerate noise, removable for energy/speed\n",
+              mx);
+  return 0;
+}

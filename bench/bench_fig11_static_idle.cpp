@@ -1,0 +1,53 @@
+// Figure 11: percentage of idle PEs under *static* PE allocation, for the
+// two splits the paper plots: (a) 12 executor / 15 predictor arrays and
+// (b) 9 executor / 18 predictor arrays. Per-layer predictor and executor
+// idle fractions come from the ODQ accelerator simulator with dynamic
+// allocation disabled.
+#include <cstdio>
+
+#include "accel/simulator.hpp"
+#include "common.hpp"
+
+namespace {
+
+void run_config(const std::vector<odq::accel::ConvWorkload>& wls,
+                int executor_arrays, int predictor_arrays, const char* tag) {
+  using namespace odq::accel;
+  SimOptions opts;
+  opts.dynamic_allocation = false;
+  opts.static_allocation = {predictor_arrays, executor_arrays};
+  const SimResult r = simulate(odq_accelerator(), wls, opts);
+
+  std::printf("\nFigure 11(%s) — Executor arrays: %d, Predictor arrays: %d\n",
+              tag, executor_arrays, predictor_arrays);
+  std::printf("%-8s %-12s %-12s %s\n", "layer", "Pre_idle(%)", "Exe_idle(%)",
+              "total idle(%)");
+  odq::bench::print_rule();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < r.layers.size(); ++i) {
+    const auto& l = r.layers[i];
+    worst = std::max(worst, l.idle_pe_fraction);
+    std::printf("C%-7zu %-12.1f %-12.1f %.1f\n", i + 1,
+                100.0 * std::max(0.0, l.predictor_idle_fraction),
+                100.0 * std::max(0.0, l.executor_idle_fraction),
+                100.0 * l.idle_pe_fraction);
+  }
+  odq::bench::print_rule();
+  std::printf("cycle-weighted idle: %.1f%%, worst layer: %.1f%%  "
+              "(paper: static allocation idles 14-50%% of PEs)\n",
+              100.0 * r.idle_pe_fraction, 100.0 * worst);
+}
+
+}  // namespace
+
+int main() {
+  using namespace odq;
+  bench::print_header("bench_fig11_static_idle",
+                      "Figure 11 (% idle PEs with static PE allocation)");
+  auto wls = bench::workloads_for("resnet20", 10,
+                                  bench::workload_odq_config("resnet20", 10),
+                                  bench::workload_drq_config());
+  run_config(wls, /*executor=*/12, /*predictor=*/15, "a");
+  run_config(wls, /*executor=*/9, /*predictor=*/18, "b");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 19: normalized execution time of the four DNNs on the four
+// Table-2 accelerators (INT16 DoReFa, INT8 DoReFa, DRQ, ODQ).
+#include <cstdio>
+
+#include "accel/simulator.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace odq;
+  bench::print_header(
+      "bench_fig19_execution_time",
+      "Figure 19 (normalized execution time) + Table 2 (configurations)",
+      "paper: ODQ cuts execution time 97.8% vs INT16, 95.8% vs INT8, "
+      "67.6% vs DRQ");
+
+  std::printf("Table 2 — accelerator configurations (same area budget):\n");
+  std::printf("%-8s %-8s %-10s %s\n", "name", "#PEs", "PE width", "on-chip MB");
+  bench::print_rule();
+  for (const auto& cfg : accel::table2_configs()) {
+    std::printf("%-8s %-8d INT%-7d %.2f\n", cfg.name.c_str(), cfg.num_pes,
+                cfg.pe_bits, cfg.onchip_mem_mb);
+  }
+
+  std::printf("\nFigure 19 — execution time normalized to INT16 = 1.0:\n");
+  std::printf("%-10s %-10s %-10s %-10s %-10s\n", "model", "INT16", "INT8",
+              "DRQ", "ODQ");
+  bench::print_rule();
+
+  double sum_vs16 = 0.0, sum_vs8 = 0.0, sum_vsdrq = 0.0;
+  for (const auto& model : bench::model_names()) {
+    auto wls = bench::workloads_for(model, 10, bench::workload_odq_config(model, 10),
+                                    bench::workload_drq_config());
+    double cycles[4];
+    int i = 0;
+    for (const auto& cfg : accel::table2_configs()) {
+      cycles[i++] = accel::simulate(cfg, wls).total_cycles;
+    }
+    std::printf("%-10s %-10.3f %-10.3f %-10.3f %-10.4f\n", model.c_str(),
+                1.0, cycles[1] / cycles[0], cycles[2] / cycles[0],
+                cycles[3] / cycles[0]);
+    sum_vs16 += 1.0 - cycles[3] / cycles[0];
+    sum_vs8 += 1.0 - cycles[3] / cycles[1];
+    sum_vsdrq += 1.0 - cycles[3] / cycles[2];
+  }
+  const double n = static_cast<double>(bench::model_names().size());
+  bench::print_rule();
+  std::printf("mean ODQ execution-time reduction: vs INT16 %.1f%% (paper "
+              "97.8%%), vs INT8 %.1f%% (paper 95.8%%), vs DRQ %.1f%% (paper "
+              "67.6%%)\n",
+              100.0 * sum_vs16 / n, 100.0 * sum_vs8 / n,
+              100.0 * sum_vsdrq / n);
+  return 0;
+}

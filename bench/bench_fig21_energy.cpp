@@ -1,0 +1,47 @@
+// Figure 21: normalized energy consumption of the four DNNs on the four
+// accelerators, with the DRAM / Buffer / Core (PE slices) breakdown.
+#include <cstdio>
+
+#include "accel/simulator.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace odq;
+  bench::print_header(
+      "bench_fig21_energy",
+      "Figure 21 (normalized energy + DRAM/Buffer/Core breakdown)",
+      "paper: ODQ saves 97.6% vs INT16, 93.5% vs INT8, 66.9% vs DRQ");
+
+  std::printf("%-10s %-7s %-10s %-9s %-9s %-9s\n", "model", "accel",
+              "norm.total", "dram", "buffer", "core");
+  bench::print_rule();
+
+  double sum_vs16 = 0.0, sum_vs8 = 0.0, sum_vsdrq = 0.0;
+  for (const auto& model : bench::model_names()) {
+    auto wls = bench::workloads_for(model, 10, bench::workload_odq_config(model, 10),
+                                    bench::workload_drq_config());
+    accel::EnergyBreakdown eb[4];
+    int i = 0;
+    for (const auto& cfg : accel::table2_configs()) {
+      eb[i++] = accel::simulate(cfg, wls).energy;
+    }
+    const double base = eb[0].total_pj();
+    const char* names[4] = {"INT16", "INT8", "DRQ", "ODQ"};
+    for (int j = 0; j < 4; ++j) {
+      std::printf("%-10s %-7s %-10.4f %-9.4f %-9.4f %-9.4f\n",
+                  j == 0 ? model.c_str() : "", names[j],
+                  eb[j].total_pj() / base, eb[j].dram_pj / base,
+                  eb[j].buffer_pj / base, eb[j].core_pj / base);
+    }
+    sum_vs16 += 1.0 - eb[3].total_pj() / eb[0].total_pj();
+    sum_vs8 += 1.0 - eb[3].total_pj() / eb[1].total_pj();
+    sum_vsdrq += 1.0 - eb[3].total_pj() / eb[2].total_pj();
+    bench::print_rule();
+  }
+  const double n = static_cast<double>(bench::model_names().size());
+  std::printf("mean ODQ energy reduction: vs INT16 %.1f%% (paper 97.6%%), "
+              "vs INT8 %.1f%% (paper 93.5%%), vs DRQ %.1f%% (paper 66.9%%)\n",
+              100.0 * sum_vs16 / n, 100.0 * sum_vs8 / n,
+              100.0 * sum_vsdrq / n);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// google-benchmark micro kernels: the primitive operations whose relative
+// costs drive the accelerator model — float conv, integer conv, bit-split,
+// ODQ predictor-only, full ODQ, DRQ mixed conv, quantization.
+#include <benchmark/benchmark.h>
+
+#include "core/odq.hpp"
+#include "drq/drq.hpp"
+#include "quant/bitsplit.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace odq;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_acts(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(0, 1);
+  return t;
+}
+
+Tensor random_weights(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal_f(0, 0.3f);
+  return t;
+}
+
+void BM_ConvFloatDirect(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Tensor x = random_acts(Shape{1, c, 16, 16}, 1);
+  Tensor w = random_weights(Shape{c, c, 3, 3}, 2);
+  Tensor bias;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d_direct(x, w, bias, 1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * c * c * 9);
+}
+BENCHMARK(BM_ConvFloatDirect)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ConvInt8(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  quant::QTensor x = quant::quantize_activations(random_acts(Shape{1, c, 16, 16}, 3), 4);
+  quant::QTensor w = quant::quantize_weights(random_weights(Shape{c, c, 3, 3}, 4), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::conv2d_i8(x.q, w.q, 1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * c * c * 9);
+}
+BENCHMARK(BM_ConvInt8)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BitSplit(benchmark::State& state) {
+  quant::QTensor w = quant::quantize_weights(
+      random_weights(Shape{static_cast<std::int64_t>(state.range(0))}, 5), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::split(w));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BitSplit)->Arg(1024)->Arg(65536);
+
+void BM_OdqPredictorOnly(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Tensor x = random_acts(Shape{1, c, 16, 16}, 6);
+  Tensor w = random_weights(Shape{c, c, 3, 3}, 7);
+  Tensor bias;
+  core::OdqConfig cfg;
+  cfg.threshold = 1e30f;  // nothing sensitive: predictor cost only
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::odq_conv_float(x, w, bias, 1, 1, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * c * c * 9);
+}
+BENCHMARK(BM_OdqPredictorOnly)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_OdqFull(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Tensor x = random_acts(Shape{1, c, 16, 16}, 8);
+  Tensor w = random_weights(Shape{c, c, 3, 3}, 9);
+  Tensor bias;
+  core::OdqConfig cfg;
+  cfg.threshold = 0.0f;  // everything sensitive: worst-case executor cost
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::odq_conv_float(x, w, bias, 1, 1, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * c * c * 9);
+}
+BENCHMARK(BM_OdqFull)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DrqMixedConv(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Tensor x = random_acts(Shape{1, c, 16, 16}, 10);
+  Tensor w = random_weights(Shape{c, c, 3, 3}, 11);
+  Tensor bias;
+  drq::DrqConfig cfg;
+  cfg.input_threshold = drq::calibrate_input_threshold(x, cfg, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drq::drq_conv(x, w, bias, 1, 1, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * c * c * 9);
+}
+BENCHMARK(BM_DrqMixedConv)->Arg(4)->Arg(8);
+
+void BM_QuantizeActivations(benchmark::State& state) {
+  Tensor x = random_acts(Shape{state.range(0)}, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::quantize_activations(x, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeActivations)->Arg(65536);
+
+void BM_Im2col(benchmark::State& state) {
+  Tensor x = random_acts(Shape{1, 16, 32, 32}, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::im2col(x, 3, 3, 1, 1));
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Tensor a = random_weights(Shape{n, n}, 14);
+  Tensor b = random_weights(Shape{n, n}, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

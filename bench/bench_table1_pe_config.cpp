@@ -1,0 +1,33 @@
+// Table 1: PE-array split between predictor and executor vs the maximum
+// sensitive-output percentage the split sustains without pipeline bubbles.
+#include <cstdio>
+
+#include "accel/allocation.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace odq;
+  bench::print_header("bench_table1_pe_config",
+                      "Table 1 (PE array configuration vs max sensitive %)",
+                      "analytic: executor keeps up iff s <= E / (3 P)");
+
+  std::printf("%-28s %-28s %s\n", "# PE arrays for predictor",
+              "# PE arrays for executor", "max sensitive outputs (%)");
+  bench::print_rule();
+  const int paper[5] = {66, 41, 26, 16, 9};
+  int i = 0;
+  bool all_match = true;
+  for (const auto& alloc : accel::valid_allocations()) {
+    const double frac = accel::max_bubble_free_sensitive_fraction(
+        alloc.predictor_arrays, alloc.executor_arrays);
+    const int pct = static_cast<int>(frac * 100.0);
+    const bool match = pct == paper[i];
+    all_match &= match;
+    std::printf("%-28d %-28d %d   (paper: %d)%s\n", alloc.predictor_arrays,
+                alloc.executor_arrays, pct, paper[i], match ? "" : "  <-- MISMATCH");
+    ++i;
+  }
+  bench::print_rule();
+  std::printf("Table 1 reproduction: %s\n", all_match ? "EXACT" : "MISMATCH");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Explore the ODQ accelerator design space: PE-array allocation, static vs
+// dynamic scheduling, and sensitivity of execution time / energy / idleness
+// to the sensitive-output fraction — the knobs §4 of the paper designs for.
+//
+// Run: ./build/examples/accelerator_design_space
+#include <cstdio>
+
+#include "accel/simulator.hpp"
+
+int main() {
+  using namespace odq::accel;
+
+  // A representative conv layer: 32 output channels, 32x32 map, 3x3 kernel
+  // over 32 input channels.
+  auto layer_with_sensitivity = [](double s) {
+    ConvWorkload wl;
+    wl.name = "conv3x3";
+    wl.out_channels = 32;
+    wl.out_elems = 32 * 32 * 32;
+    wl.macs_per_out = 32 * 9;
+    wl.total_macs = wl.out_elems * wl.macs_per_out;
+    wl.input_elems = 32 * 32 * 32;
+    wl.weight_elems = 32 * 32 * 9;
+    wl.odq_sensitive_fraction = s;
+    wl.drq_sensitive_input_fraction = 0.5;
+    wl.sensitive_per_channel.assign(
+        32, static_cast<std::int64_t>(s * wl.out_elems / 32));
+    return wl;
+  };
+
+  std::printf("== Table-1 design space: allocation vs sensitive fraction ==\n");
+  std::printf("%-12s", "sens.frac");
+  for (const auto& a : valid_allocations()) {
+    std::printf("  P%02d/E%02d", a.predictor_arrays, a.executor_arrays);
+  }
+  std::printf("   chosen\n");
+  for (double s : {0.05, 0.10, 0.20, 0.30, 0.45, 0.60}) {
+    std::printf("%-12.2f", s);
+    const std::vector<ConvWorkload> wls{layer_with_sensitivity(s)};
+    for (const auto& a : valid_allocations()) {
+      SimOptions opts;
+      opts.dynamic_allocation = false;
+      opts.static_allocation = a;
+      const double cycles = simulate(odq_accelerator(), wls, opts).total_cycles;
+      std::printf("  %7.0f", cycles);
+    }
+    const PeAllocation chosen = choose_allocation(s);
+    std::printf("   P%d/E%d\n", chosen.predictor_arrays,
+                chosen.executor_arrays);
+  }
+
+  std::printf("\n== static vs dynamic workload scheduling (skewed channels) "
+              "==\n");
+  // Skew sensitive outputs into a few channels, as real masks do.
+  ConvWorkload skewed = layer_with_sensitivity(0.25);
+  for (std::size_t c = 0; c < skewed.sensitive_per_channel.size(); ++c) {
+    skewed.sensitive_per_channel[c] = c < 4 ? 2048 : 64;
+  }
+  const std::vector<ConvWorkload> wls{skewed};
+  SimOptions dyn;
+  SimOptions stat = dyn;
+  stat.dynamic_workload_schedule = false;
+  const auto rd = simulate(odq_accelerator(), wls, dyn);
+  const auto rs = simulate(odq_accelerator(), wls, stat);
+  std::printf("static schedule : %.0f cycles, %.1f%% idle\n", rs.total_cycles,
+              100.0 * rs.idle_pe_fraction);
+  std::printf("dynamic schedule: %.0f cycles, %.1f%% idle  (crossbar "
+              "longest-workload-first, Fig. 16)\n",
+              rd.total_cycles, 100.0 * rd.idle_pe_fraction);
+
+  std::printf("\n== accelerator comparison on this layer ==\n");
+  for (const auto& cfg : table2_configs()) {
+    const auto r = simulate(cfg, wls);
+    std::printf("%-6s: %10.0f cycles, %8.1f nJ (dram %5.1f / buffer %5.1f / "
+                "core %5.1f)\n",
+                cfg.name.c_str(), r.total_cycles, r.energy.total_pj() / 1e3,
+                r.energy.dram_pj / 1e3, r.energy.buffer_pj / 1e3,
+                r.energy.core_pj / 1e3);
+  }
+  return 0;
+}

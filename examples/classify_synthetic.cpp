@@ -1,0 +1,118 @@
+// End-to-end image classification with ODQ: train a CIFAR-style ResNet on
+// the synthetic dataset, then compare FP32, static INT8, DRQ, and ODQ
+// inference accuracy and the work each scheme performs.
+//
+// Run: ./build/examples/classify_synthetic [epochs]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/odq.hpp"
+#include "data/synthetic.hpp"
+#include "drq/drq.hpp"
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "quant/static_executor.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odq;
+  const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 10;
+
+  data::SyntheticConfig dcfg;
+  dcfg.num_classes = 10;
+  dcfg.noise = 0.05f;
+  auto data = data::make_synthetic_images(dcfg, 128, 64);
+  std::printf("dataset: %lld train / %lld test images, %d classes\n",
+              static_cast<long long>(data.train.size()),
+              static_cast<long long>(data.test.size()),
+              data.train.num_classes);
+
+  nn::Model model = nn::make_resnet20(10, /*base_width=*/4);
+  nn::kaiming_init(model, 42);
+  std::printf("model: %s, %lld parameters, %zu conv layers\n",
+              model.name().c_str(),
+              static_cast<long long>(model.num_parameters()),
+              model.convs().size());
+
+  util::WallTimer timer;
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  tc.lr_step = std::max<std::int64_t>(1, epochs * 2 / 3);
+  tc.lr_decay = 0.2f;
+  tc.verbose = true;
+  nn::SgdTrainer(tc).train(model, data.train.images, data.train.labels);
+  std::printf("trained %lld epochs in %.1fs\n",
+              static_cast<long long>(epochs), timer.seconds());
+
+  auto eval = [&](const char* tag, std::shared_ptr<nn::ConvExecutor> exec) {
+    model.set_conv_executor(std::move(exec));
+    util::WallTimer t;
+    const double acc =
+        nn::evaluate_accuracy(model, data.test.images, data.test.labels);
+    std::printf("%-22s accuracy %.3f   (eval %.2fs)\n", tag, acc, t.seconds());
+    model.set_conv_executor(nullptr);
+    return acc;
+  };
+
+  eval("FP32", nullptr);
+  eval("static INT8 (DoReFa)",
+       std::make_shared<quant::StaticQuantConvExecutor>(8));
+  eval("static INT4 (DoReFa)",
+       std::make_shared<quant::StaticQuantConvExecutor>(4));
+
+  drq::DrqConfig dq;
+  dq.input_threshold = 0.25f;
+  eval("DRQ INT8-INT4", std::make_shared<drq::DrqConvExecutor>(dq));
+
+  // ODQ needs the paper's retraining step: BN re-estimation plus a short
+  // fine-tune per candidate threshold, accepting the largest that holds
+  // accuracy (full recipe in examples/edge_deployment.cpp and
+  // docs/training.md).
+  const double fp32_acc =
+      nn::evaluate_accuracy(model, data.test.images, data.test.labels);
+  const std::string snap = "classify_snapshot.bin";
+  model.save(snap);
+  const std::int64_t chw = 3 * 32 * 32;
+  for (float thr : {0.05f, 0.0f}) {
+    nn::Model qat = nn::make_resnet20(10, /*base_width=*/4);
+    qat.load(snap);
+    core::OdqConfig oc;
+    oc.threshold = thr;
+    auto odq_exec = std::make_shared<core::OdqConvExecutor>(oc);
+    qat.set_conv_executor(odq_exec);
+    for (int pass = 0; pass < 2; ++pass) {  // BN re-estimation
+      for (std::int64_t b = 0; b + 16 <= data.train.size(); b += 16) {
+        tensor::Tensor batch(
+            tensor::Shape{16, 3, 32, 32},
+            std::vector<float>(data.train.images.data() + b * chw,
+                               data.train.images.data() + (b + 16) * chw));
+        (void)qat.forward(batch, /*train=*/true);
+      }
+    }
+    nn::TrainConfig ft;
+    ft.epochs = 2;
+    ft.batch_size = 16;
+    ft.lr = 0.01f;
+    nn::SgdTrainer(ft).train(qat, data.train.images, data.train.labels);
+    odq_exec->reset_stats();
+    const double odq_acc =
+        nn::evaluate_accuracy(qat, data.test.images, data.test.labels);
+    double sens = 0.0;
+    for (std::size_t i = 0; i < odq_exec->num_layers_seen(); ++i) {
+      sens += odq_exec->layer_stats(static_cast<int>(i)).sensitive_fraction();
+    }
+    sens /= static_cast<double>(odq_exec->num_layers_seen());
+    std::printf("%-22s accuracy %.3f   (thr %.2f: %.0f%% outputs full INT4, "
+                "%.0f%% predictor-only INT2)\n",
+                "ODQ INT4-INT2 (tuned)", odq_acc, thr, 100.0 * sens,
+                100.0 * (1.0 - sens));
+    if (odq_acc >= fp32_acc - 0.05) break;  // accepted
+  }
+  std::remove(snap.c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Adaptive threshold selection (paper §3): calibrate an initial threshold
+// from the predictor-output distribution, retrain with the threshold in the
+// loop, and halve until accuracy meets the tolerance. Prints the full search
+// trace.
+//
+// Run: ./build/examples/threshold_tuning [tolerance]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/threshold_search.hpp"
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odq;
+  const double tolerance = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  data::SyntheticConfig dcfg;
+  dcfg.num_classes = 10;
+  auto data = data::make_synthetic_images(dcfg, 128, 64);
+
+  nn::Model model = nn::make_resnet20(10, 4);
+  nn::kaiming_init(model, 9);
+  nn::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  nn::SgdTrainer(tc).train(model, data.train.images, data.train.labels);
+  const double ref =
+      nn::evaluate_accuracy(model, data.test.images, data.test.labels);
+  std::printf("FP32 reference accuracy: %.3f, tolerance %.3f\n", ref,
+              tolerance);
+
+  core::ThresholdSearchConfig scfg;
+  scfg.accuracy_tolerance = tolerance;
+  scfg.init_percentile = 0.9;
+  scfg.max_iterations = 6;
+  scfg.finetune_epochs = 1;
+  scfg.finetune.batch_size = 16;
+  scfg.finetune.lr = 0.01f;
+
+  core::OdqConfig base;
+  const auto res =
+      core::search_threshold(model, data.train, data.test, ref, base, scfg);
+
+  std::printf("\nsearch trace (threshold halves until accuracy recovers):\n");
+  std::printf("%-6s %-12s %-10s %s\n", "iter", "threshold", "accuracy",
+              "mean sensitive %");
+  for (std::size_t i = 0; i < res.trace.size(); ++i) {
+    std::printf("%-6zu %-12.5f %-10.3f %.1f\n", i + 1, res.trace[i].threshold,
+                res.trace[i].accuracy,
+                100.0 * res.trace[i].sensitive_fraction);
+  }
+  std::printf("\nselected threshold: %.5f (accuracy %.3f, %s after %d "
+              "iterations)\n",
+              res.threshold, res.accuracy,
+              res.converged ? "converged" : "best-effort", res.iterations);
+  std::printf("the paper's Table 3 records exactly this per-model value "
+              "(0.5 / 0.5 / 0.3 / 0.05 at paper scale)\n");
+  return 0;
+}

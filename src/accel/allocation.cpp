@@ -1,0 +1,41 @@
+#include "accel/allocation.hpp"
+
+namespace odq::accel {
+
+double max_bubble_free_sensitive_fraction(int predictor_arrays,
+                                          int executor_arrays) {
+  if (predictor_arrays <= 0) return 0.0;
+  return static_cast<double>(executor_arrays) /
+         (3.0 * static_cast<double>(predictor_arrays));
+}
+
+std::vector<PeAllocation> valid_allocations(const SliceConfig& slice) {
+  // Reconfigurable arrays move in steps of 3 between the two roles
+  // (Table 1 enumerates 9/12/15/18/21 predictor arrays).
+  std::vector<PeAllocation> out;
+  for (int extra = 0; extra <= slice.reconfigurable; extra += 3) {
+    PeAllocation a;
+    a.predictor_arrays = slice.fixed_predictor + extra;
+    a.executor_arrays =
+        slice.fixed_executor + (slice.reconfigurable - extra);
+    out.push_back(a);
+  }
+  return out;
+}
+
+PeAllocation choose_allocation(double sensitive_fraction,
+                               const SliceConfig& slice) {
+  // Prefer the most predictor-heavy split that is still bubble-free.
+  const auto allocs = valid_allocations(slice);
+  PeAllocation best = allocs.front();  // most executor-heavy (66% capable)
+  for (const auto& a : allocs) {
+    if (max_bubble_free_sensitive_fraction(a.predictor_arrays,
+                                           a.executor_arrays) >=
+        sensitive_fraction) {
+      best = a;  // allocs are ordered by increasing predictor share
+    }
+  }
+  return best;
+}
+
+}  // namespace odq::accel

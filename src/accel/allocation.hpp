@@ -1,0 +1,43 @@
+// PE-array allocation between the sensitivity predictor and the result
+// executor (paper §4.2, Table 1).
+//
+// The predictor produces one output partial sum per macs_per_out INT2 MACs
+// (1 cycle each). The executor spends 3 cycles per MAC but only on the
+// sensitive fraction s of outputs. With P predictor arrays and E executor
+// arrays (same PEs per array), the pipeline has no bubbles iff the executor
+// keeps up with the predictor:
+//
+//     3 * s / E  <=  1 / P      =>      s  <=  E / (3 P)
+//
+// which reproduces the paper's Table 1 exactly:
+//   (P=9,  E=18) -> 66%     (P=12, E=15) -> 41%    (P=15, E=12) -> 26%
+//   (P=18, E=9)  -> 16%     (P=21, E=6)  -> 9%
+#pragma once
+
+#include <vector>
+
+#include "accel/config.hpp"
+
+namespace odq::accel {
+
+struct PeAllocation {
+  int predictor_arrays = 9;
+  int executor_arrays = 18;
+};
+
+// Max sensitive-output fraction a (P, E) split sustains without pipeline
+// bubbles.
+double max_bubble_free_sensitive_fraction(int predictor_arrays,
+                                          int executor_arrays);
+
+// The five allocations reachable by reconfiguring the 12 middle arrays
+// (Table 1), ordered by increasing predictor share.
+std::vector<PeAllocation> valid_allocations(const SliceConfig& slice = {});
+
+// Dynamic allocation: the bubble-free split with the largest predictor share
+// for a measured sensitive fraction (falls back to the most
+// executor-heavy split when s exceeds 66%).
+PeAllocation choose_allocation(double sensitive_fraction,
+                               const SliceConfig& slice = {});
+
+}  // namespace odq::accel

@@ -1,0 +1,46 @@
+#include "accel/config.hpp"
+
+namespace odq::accel {
+
+AcceleratorConfig int16_accelerator() {
+  AcceleratorConfig c;
+  c.kind = AcceleratorKind::kInt16Static;
+  c.name = "INT16";
+  c.num_pes = 120;
+  c.pe_bits = 16;
+  return c;
+}
+
+AcceleratorConfig int8_accelerator() {
+  AcceleratorConfig c;
+  c.kind = AcceleratorKind::kInt8Static;
+  c.name = "INT8";
+  c.num_pes = 1692;
+  c.pe_bits = 4;  // BitFusion-style INT4 units, 4 cycles per INT8 MAC
+  return c;
+}
+
+AcceleratorConfig drq_accelerator() {
+  AcceleratorConfig c;
+  c.kind = AcceleratorKind::kDrq;
+  c.name = "DRQ";
+  c.num_pes = 1692;
+  c.pe_bits = 4;
+  return c;
+}
+
+AcceleratorConfig odq_accelerator() {
+  AcceleratorConfig c;
+  c.kind = AcceleratorKind::kOdq;
+  c.name = "ODQ";
+  c.num_pes = 4860;
+  c.pe_bits = 2;
+  return c;
+}
+
+std::vector<AcceleratorConfig> table2_configs() {
+  return {int16_accelerator(), int8_accelerator(), drq_accelerator(),
+          odq_accelerator()};
+}
+
+}  // namespace odq::accel

@@ -1,0 +1,57 @@
+// Accelerator configurations (paper Table 2) and ODQ PE-slice geometry
+// (paper §4.2-4.3).
+//
+// All four accelerators are normalized to the same silicon area
+// (0.17 mm^2 of on-chip memory, PE counts from Table 2): an INT16 MAC unit
+// is large, so the INT16 design fits only 120 PEs; the INT4-granular fusion
+// designs (INT8 DoReFa, DRQ) fit 1692; ODQ's INT2 PEs fit 4860.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odq::accel {
+
+enum class AcceleratorKind {
+  kInt16Static,  // DoReFa INT16, 1 MAC/PE/cycle at 16 bit
+  kInt8Static,   // DoReFa INT8 on INT4 fusion PEs: 4 cycles / MAC
+  kDrq,          // input-directed dynamic INT8/INT4 mix on INT4 PEs
+  kOdq,          // output-directed dynamic INT4/INT2 on INT2 PEs
+};
+
+struct AcceleratorConfig {
+  AcceleratorKind kind = AcceleratorKind::kOdq;
+  std::string name = "ODQ";
+  int num_pes = 4860;
+  int pe_bits = 2;              // native MAC width of one PE
+  double onchip_mem_mb = 0.17;  // same across designs (Table 2)
+  double freq_ghz = 1.0;
+  // Off-chip bandwidth available per cycle (bytes). 64 B/cycle at 1 GHz is
+  // a 64 GB/s interface; the paper's global buffers hide DRAM latency, so
+  // layers are compute-bound except at extreme sparsity.
+  double dram_bytes_per_cycle = 64.0;
+};
+
+// The four Table-2 configurations.
+AcceleratorConfig int16_accelerator();
+AcceleratorConfig int8_accelerator();
+AcceleratorConfig drq_accelerator();
+AcceleratorConfig odq_accelerator();
+std::vector<AcceleratorConfig> table2_configs();
+
+// ODQ PE-slice geometry (paper §4.2): 27 PE arrays; the leftmost 9 are
+// dedicated predictor arrays, the rightmost 6 dedicated executor arrays, and
+// the middle 12 are reconfigurable to either role. Executor arrays are
+// grouped into 3 clusters fed round-robin from the line buffers.
+struct SliceConfig {
+  int arrays = 27;
+  int fixed_predictor = 9;
+  int fixed_executor = 6;
+  int reconfigurable = 12;
+  int executor_clusters = 3;
+
+  int pes_per_array(int total_pes) const { return total_pes / arrays; }
+};
+
+}  // namespace odq::accel

@@ -1,0 +1,30 @@
+#include "accel/cyclesim/crossbar.hpp"
+
+#include <algorithm>
+
+namespace odq::accel::cyclesim {
+
+void Crossbar::enqueue(std::int64_t channel, std::int64_t outputs) {
+  if (outputs <= 0) return;
+  pending_[static_cast<std::size_t>(channel)] += outputs;
+  total_ += outputs;
+}
+
+std::int64_t Crossbar::pop_winner() {
+  std::int64_t channel = -1;
+  return pop_winner_n(1, &channel) == 1 ? channel : -1;
+}
+
+std::int64_t Crossbar::pop_winner_n(std::int64_t max_n, std::int64_t* channel) {
+  *channel = -1;
+  if (total_ == 0 || max_n <= 0) return 0;
+  const auto it = std::max_element(pending_.begin(), pending_.end());
+  if (*it == 0) return 0;
+  const std::int64_t take = std::min(max_n, *it);
+  *it -= take;
+  total_ -= take;
+  *channel = static_cast<std::int64_t>(it - pending_.begin());
+  return take;
+}
+
+}  // namespace odq::accel::cyclesim

@@ -1,0 +1,43 @@
+// Executor crossbar: routes pending output-channel workloads to free
+// executor arrays (paper §4.3, Fig. 16).
+//
+// Each output channel keeps a queue of pending sensitive outputs. When an
+// array frees up, the crossbar hands it one output from the channel with
+// the largest remaining workload (the "winning candidate"). Channel work
+// is therefore splittable across arrays at output granularity, which is
+// what lets the dynamic scheme finish Fig. 16's example in 15 cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace odq::accel::cyclesim {
+
+class Crossbar {
+ public:
+  explicit Crossbar(std::int64_t channels)
+      : pending_(static_cast<std::size_t>(channels), 0) {}
+
+  // Enqueue `outputs` sensitive outputs for `channel`.
+  void enqueue(std::int64_t channel, std::int64_t outputs);
+
+  // Total outputs still pending.
+  std::int64_t pending_total() const { return total_; }
+  std::int64_t pending(std::int64_t channel) const {
+    return pending_[static_cast<std::size_t>(channel)];
+  }
+
+  // Pop one output from the largest-workload channel; returns the channel
+  // id or -1 when nothing is pending.
+  std::int64_t pop_winner();
+
+  // Pop up to `max_n` outputs from the largest-workload channel; returns
+  // the number popped and stores the channel in *channel (-1 if none).
+  std::int64_t pop_winner_n(std::int64_t max_n, std::int64_t* channel);
+
+ private:
+  std::vector<std::int64_t> pending_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace odq::accel::cyclesim

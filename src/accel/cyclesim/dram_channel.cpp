@@ -1,0 +1,43 @@
+#include "accel/cyclesim/dram_channel.hpp"
+
+namespace odq::accel::cyclesim {
+
+std::int64_t DramChannel::request(double bytes) {
+  const std::int64_t id = next_id_++;
+  if (bytes <= 0.0) {
+    // Zero-byte requests complete immediately if nothing is pending.
+    if (queue_.empty() && completed_up_to_ == id - 1) {
+      completed_up_to_ = id;
+      return id;
+    }
+  }
+  queue_.push_back(Req{id, bytes, latency_});
+  return id;
+}
+
+bool DramChannel::complete(std::int64_t handle) const {
+  return handle <= completed_up_to_;
+}
+
+void DramChannel::step() {
+  if (queue_.empty()) return;
+  ++busy_cycles_;
+  double budget = bytes_per_cycle_;
+  while (!queue_.empty() && budget > 0.0) {
+    Req& head = queue_.front();
+    if (head.latency_left > 0) {
+      --head.latency_left;
+      return;  // latency is not pipelined across requests here
+    }
+    const double take = head.remaining < budget ? head.remaining : budget;
+    head.remaining -= take;
+    budget -= take;
+    served_ += take;
+    if (head.remaining <= 1e-9) {
+      completed_up_to_ = head.id;
+      queue_.pop_front();
+    }
+  }
+}
+
+}  // namespace odq::accel::cyclesim

@@ -1,0 +1,46 @@
+// Bandwidth-limited DRAM channel for the cycle-stepped simulator.
+//
+// Requests are byte counts; the channel delivers at most
+// `bytes_per_cycle` per step, in FIFO order. Consumers poll their request
+// handle for completion.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace odq::accel::cyclesim {
+
+class DramChannel {
+ public:
+  explicit DramChannel(double bytes_per_cycle, std::int64_t latency_cycles = 8)
+      : bytes_per_cycle_(bytes_per_cycle), latency_(latency_cycles) {}
+
+  // Issue a request; returns a handle (monotonically increasing id).
+  std::int64_t request(double bytes);
+
+  // True once the request has fully arrived.
+  bool complete(std::int64_t handle) const;
+
+  // Advance one cycle: pay fixed latency, then drain bandwidth.
+  void step();
+
+  double total_bytes_served() const { return served_; }
+  std::int64_t cycles_busy() const { return busy_cycles_; }
+
+ private:
+  struct Req {
+    std::int64_t id;
+    double remaining;
+    std::int64_t latency_left;
+  };
+
+  double bytes_per_cycle_;
+  std::int64_t latency_;
+  std::deque<Req> queue_;
+  std::int64_t next_id_ = 0;
+  std::int64_t completed_up_to_ = -1;  // all ids <= this are complete
+  double served_ = 0.0;
+  std::int64_t busy_cycles_ = 0;
+};
+
+}  // namespace odq::accel::cyclesim

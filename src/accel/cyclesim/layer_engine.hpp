@@ -1,0 +1,70 @@
+// Cycle-stepped simulation of one conv layer on the ODQ accelerator
+// (paper Fig. 12/17): predictor arrays stream outputs, the threshold unit
+// marks sensitive ones into the bit mask, the crossbar feeds them to
+// executor arrays grouped in three clusters, line buffers refill through a
+// bandwidth-limited DRAM channel.
+//
+// This is the microarchitectural counterpart of accel::simulate()'s
+// analytic model; tests cross-validate the two (busy-cycle conservation,
+// makespan agreement within queueing effects).
+#pragma once
+
+#include <cstdint>
+
+#include "accel/allocation.hpp"
+#include "accel/config.hpp"
+#include "accel/workload.hpp"
+
+namespace odq::accel::cyclesim {
+
+struct CycleSimConfig {
+  SliceConfig slice;
+  int total_pes = 4860;
+  // Off-chip: streams each layer's *unique* bytes (weights + input feature
+  // map at INT4) once; compute may not run ahead of the prefetch.
+  double dram_bytes_per_cycle = 64.0;
+  std::int64_t dram_latency = 8;
+  // On-chip global buffer ports feeding the line buffers (inputs are reused
+  // across output channels and overlapping windows, so line-buffer refills
+  // hit SRAM, not DRAM). Multi-banked SRAM sustains a kilobyte-class
+  // aggregate width; undersizing this is the dominant stall source.
+  double gbuf_bytes_per_cycle = 1024.0;
+  std::int64_t gbuf_latency = 1;
+  std::int64_t line_buffer_columns = 64;
+  bool dynamic_allocation = true;
+  PeAllocation static_allocation{12, 15};
+  // Safety valve; a well-formed run never reaches it.
+  std::int64_t max_cycles = 500'000'000;
+};
+
+struct CycleSimResult {
+  std::int64_t cycles = 0;
+  std::int64_t predictor_busy = 0, predictor_idle = 0;
+  std::int64_t executor_busy = 0, executor_idle = 0;
+  std::int64_t outputs_predicted = 0;
+  std::int64_t outputs_executed = 0;
+  std::int64_t line_buffer_underruns = 0;
+  double dram_bytes = 0.0;
+  PeAllocation allocation;
+  bool hit_cycle_limit = false;
+
+  double idle_fraction() const {
+    const double busy = static_cast<double>(predictor_busy + executor_busy);
+    const double all = busy + static_cast<double>(predictor_idle +
+                                                  executor_idle);
+    return all > 0.0 ? 1.0 - busy / all : 0.0;
+  }
+};
+
+// Simulate one layer. Sensitive outputs follow wl.sensitive_per_channel,
+// spread evenly within each channel (Bresenham spacing), which matches how
+// masks interleave in practice.
+CycleSimResult simulate_layer(const ConvWorkload& wl,
+                              const CycleSimConfig& cfg);
+
+// Sum over layers (fresh engine per layer; the paper reconfigures between
+// layers).
+CycleSimResult simulate_network(const std::vector<ConvWorkload>& layers,
+                                const CycleSimConfig& cfg);
+
+}  // namespace odq::accel::cyclesim

@@ -1,0 +1,34 @@
+#include "accel/cyclesim/line_buffer.hpp"
+
+namespace odq::accel::cyclesim {
+
+bool LineBuffer::pop() {
+  if (available_ == 0) {
+    ++underruns_;
+    return false;
+  }
+  --available_;
+  return true;
+}
+
+void LineBuffer::refill(DramChannel& dram) {
+  if (pending_handle_ >= 0) return;  // refill in flight
+  const std::int64_t low_water = capacity_ / 2;
+  if (available_ > low_water) return;
+  const std::int64_t want = capacity_ - available_;
+  if (want <= 0) return;
+  pending_columns_ = want;
+  pending_handle_ =
+      dram.request(bytes_per_column_ * static_cast<double>(want));
+}
+
+void LineBuffer::step(const DramChannel& dram) {
+  if (pending_handle_ >= 0 && dram.complete(pending_handle_)) {
+    available_ += pending_columns_;
+    if (available_ > capacity_) available_ = capacity_;
+    pending_columns_ = 0;
+    pending_handle_ = -1;
+  }
+}
+
+}  // namespace odq::accel::cyclesim

@@ -1,0 +1,47 @@
+// Line buffer feeding a PE array (paper §4.3, Fig. 17).
+//
+// The Im2col/Pack engine writes packed input columns into line buffers; a
+// PE array consumes one column per issue. The buffer refills from the
+// global buffer through the DRAM channel when it runs low. Three line
+// buffers feed the three executor clusters round-robin, so a new request is
+// made only every three cycles per cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/cyclesim/dram_channel.hpp"
+
+namespace odq::accel::cyclesim {
+
+class LineBuffer {
+ public:
+  // capacity: columns held; bytes_per_column: refill cost per column.
+  LineBuffer(std::int64_t capacity, double bytes_per_column)
+      : capacity_(capacity), bytes_per_column_(bytes_per_column) {}
+
+  // Columns ready for consumption.
+  std::int64_t available() const { return available_; }
+  bool empty() const { return available_ == 0; }
+
+  // Consume one column; returns false on underrun (caller stalls).
+  bool pop();
+
+  // Issue a refill through `dram` if below the low-water mark and no refill
+  // is outstanding. Call once per cycle before stepping consumers.
+  void refill(DramChannel& dram);
+
+  // Advance: landed refills become available.
+  void step(const DramChannel& dram);
+
+  std::int64_t underruns() const { return underruns_; }
+
+ private:
+  std::int64_t capacity_;
+  double bytes_per_column_;
+  std::int64_t available_ = 0;
+  std::int64_t pending_columns_ = 0;
+  std::int64_t pending_handle_ = -1;
+  std::int64_t underruns_ = 0;
+};
+
+}  // namespace odq::accel::cyclesim

@@ -1,0 +1,33 @@
+#include "accel/cyclesim/pe_array.hpp"
+
+namespace odq::accel::cyclesim {
+
+bool PeArray::issue(std::int64_t macs, LineBuffer& lb) {
+  if (busy() || macs <= 0) return false;
+  if (!lb.pop()) return false;
+  issue_prefetched(macs);
+  return true;
+}
+
+bool PeArray::issue_prefetched(std::int64_t macs) {
+  if (busy() || macs <= 0) return false;
+  const std::int64_t work = role_ == ArrayRole::kPredictor ? macs : 3 * macs;
+  cycles_left_ = (work + pes_ - 1) / pes_;
+  if (cycles_left_ <= 0) cycles_left_ = 1;
+  return true;
+}
+
+bool PeArray::step() {
+  if (cycles_left_ > 0) {
+    ++busy_cycles_;
+    if (--cycles_left_ == 0) {
+      ++outputs_done_;
+      return true;
+    }
+    return false;
+  }
+  ++idle_cycles_;
+  return false;
+}
+
+}  // namespace odq::accel::cyclesim

@@ -1,0 +1,48 @@
+// Energy model (CACTI-flavoured constants, 45nm class).
+//
+// The paper measures power with CACTI [14] and Design Compiler on a 45nm
+// TSMC library; this repo substitutes a parametric model with the standard
+// relative costs (Horowitz, ISSCC'14): multiplier energy grows ~quadratically
+// with operand width, SRAM access is an order of magnitude above a MAC, and
+// DRAM access is two orders above SRAM. Figure 21 reports *normalized*
+// energy, which depends only on these ratios.
+#pragma once
+
+#include <cstdint>
+
+namespace odq::accel {
+
+struct EnergyParams {
+  // pJ for a b-bit MAC: mac_base * b^2 (mult) + add overhead folded in.
+  double mac_base_pj = 0.0035;  // INT8 MAC ~ 0.22 pJ, INT16 ~ 0.90 pJ
+  double sram_pj_per_byte = 0.6;
+  double dram_pj_per_byte = 25.0;
+  double leakage_pj_per_pe_cycle = 0.002;
+  // Background (static) power of the DRAM interface and on-chip buffers,
+  // charged per cycle of execution. The paper's Fig. 21 discussion: the
+  // DRAM/Buffer savings come largely from the shorter execution time, which
+  // "accounts for static energy consumption".
+  double dram_static_pj_per_cycle = 30.0;
+  double buffer_static_pj_per_cycle = 10.0;
+
+  double mac_pj(int bits) const {
+    return mac_base_pj * static_cast<double>(bits) * static_cast<double>(bits);
+  }
+};
+
+struct EnergyBreakdown {
+  double dram_pj = 0.0;
+  double buffer_pj = 0.0;
+  double core_pj = 0.0;  // PE slices: MACs + leakage
+
+  double total_pj() const { return dram_pj + buffer_pj + core_pj; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) {
+    dram_pj += o.dram_pj;
+    buffer_pj += o.buffer_pj;
+    core_pj += o.core_pj;
+    return *this;
+  }
+};
+
+}  // namespace odq::accel

@@ -1,0 +1,64 @@
+#include "accel/scheduler.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace odq::accel {
+
+namespace {
+
+ScheduleResult finish(std::vector<std::int64_t> busy) {
+  ScheduleResult r;
+  r.makespan = busy.empty() ? 0 : *std::max_element(busy.begin(), busy.end());
+  for (std::int64_t b : busy) r.idle_cycles += r.makespan - b;
+  const std::int64_t denom =
+      r.makespan * static_cast<std::int64_t>(busy.size());
+  r.idle_fraction =
+      denom > 0 ? static_cast<double>(r.idle_cycles) /
+                      static_cast<double>(denom)
+                : 0.0;
+  r.array_busy = std::move(busy);
+  return r;
+}
+
+}  // namespace
+
+ScheduleResult schedule_static(
+    const std::vector<std::int64_t>& work_per_channel, int arrays) {
+  std::vector<std::int64_t> busy(static_cast<std::size_t>(std::max(arrays, 1)),
+                                 0);
+  for (std::size_t c = 0; c < work_per_channel.size(); ++c) {
+    busy[c % busy.size()] += work_per_channel[c];
+  }
+  return finish(std::move(busy));
+}
+
+ScheduleResult schedule_dynamic(
+    const std::vector<std::int64_t>& work_per_channel, int arrays,
+    std::int64_t granularity) {
+  std::vector<std::int64_t> busy(static_cast<std::size_t>(std::max(arrays, 1)),
+                                 0);
+  granularity = std::max<std::int64_t>(granularity, 1);
+  // Split each channel's workload into output-sized chunks (a channel's
+  // remaining outputs can migrate to free arrays), then assign
+  // longest-remaining-first to the least-loaded array — the greedy rule the
+  // crossbar implements by picking the winning (largest-workload) channel
+  // whenever an array frees up.
+  std::vector<std::int64_t> chunks;
+  for (std::int64_t w : work_per_channel) {
+    while (w > 0) {
+      const std::int64_t c = std::min(w, granularity);
+      chunks.push_back(c);
+      w -= c;
+    }
+  }
+  std::sort(chunks.begin(), chunks.end(), std::greater<>());
+  for (std::int64_t c : chunks) {
+    auto it = std::min_element(busy.begin(), busy.end());
+    *it += c;
+  }
+  return finish(std::move(busy));
+}
+
+}  // namespace odq::accel

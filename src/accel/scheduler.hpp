@@ -1,0 +1,42 @@
+// Executor workload scheduling across PE arrays and clusters
+// (paper §4.3, Figs. 14-16).
+//
+// Sensitive outputs are irregularly distributed across output channels, so a
+// static channel->array assignment leaves arrays idle once their channels
+// drain (Fig. 14). The dynamic scheme lets every cluster cover all output
+// channels and, each time an array frees up, feeds it the pending channel
+// with the largest remaining workload through a crossbar (Fig. 16).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace odq::accel {
+
+struct ScheduleResult {
+  // Cycles until the last array finishes.
+  std::int64_t makespan = 0;
+  // Sum over arrays of (makespan - busy_cycles).
+  std::int64_t idle_cycles = 0;
+  // idle / (arrays * makespan).
+  double idle_fraction = 0.0;
+  std::vector<std::int64_t> array_busy;
+};
+
+// `work_per_channel[c]` is the executor cycle count channel c contributes.
+//
+// Static: whole channels are assigned round-robin to arrays up front — an
+// array whose channels drain early sits idle (Fig. 14).
+//
+// Dynamic: a channel's remaining workload may be reallocated to free arrays
+// (Fig. 15), at the granularity of one output computation (`granularity`
+// cycles, 3 per output on the executor). Chunks are handed
+// longest-remaining-workload-first to the least-loaded array — the crossbar
+// winner rule of Fig. 16. With the paper's example ({21,12,12,12} over 4
+// arrays, granularity 3) this completes in 15 cycles, matching §4.3.
+ScheduleResult schedule_static(const std::vector<std::int64_t>& work_per_channel,
+                               int arrays);
+ScheduleResult schedule_dynamic(const std::vector<std::int64_t>& work_per_channel,
+                                int arrays, std::int64_t granularity = 1);
+
+}  // namespace odq::accel

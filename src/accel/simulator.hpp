@@ -1,0 +1,74 @@
+// Cycle/energy simulator for the four Table-2 accelerators.
+//
+// Timing model (per conv layer, per image):
+//
+//  INT16: one 16-bit MAC per PE per cycle on 120 PEs.
+//  INT8 : BitFusion-style INT4 units; an 8x8 MAC occupies a PE 4 cycles.
+//  DRQ  : INT4 units; sensitive input regions compute 8x8 (4 cycles/MAC),
+//         insensitive regions 4x8 (2 cycles/MAC); plus a 1-add/input
+//         region-mean prediction pass.
+//  ODQ  : INT2 units grouped in a 27-array slice. Predictor arrays spend
+//         1 cycle per 2x2 MAC over every output; executor arrays spend
+//         3 cycles per MAC over sensitive outputs only. Predictor and
+//         executor run pipelined; per-layer cycles are the slower stage plus
+//         executor imbalance from the cluster schedule.
+//
+//  Every design overlaps compute with DRAM traffic; a layer is bound by
+//  max(compute cycles, DRAM cycles) at its operand widths.
+//
+// Energy model: per-MAC energy scaled by operand width (quadratic), SRAM
+// buffer energy for every operand fetched into a PE, DRAM energy per byte
+// moved, and leakage per PE-cycle (see EnergyParams).
+#pragma once
+
+#include <vector>
+
+#include "accel/allocation.hpp"
+#include "accel/config.hpp"
+#include "accel/energy.hpp"
+#include "accel/scheduler.hpp"
+#include "accel/workload.hpp"
+
+namespace odq::accel {
+
+struct SimOptions {
+  // ODQ only: choose the PE split per layer from Table 1 (true) or use one
+  // fixed split for the whole network (false; `static_allocation` below).
+  bool dynamic_allocation = true;
+  PeAllocation static_allocation{12, 15};
+  // ODQ only: dynamic workload scheduling across executor arrays (Fig. 16)
+  // vs static channel assignment (Fig. 14).
+  bool dynamic_workload_schedule = true;
+  EnergyParams energy;
+  SliceConfig slice;
+};
+
+struct LayerSimResult {
+  std::string name;
+  double cycles = 0.0;
+  double compute_cycles = 0.0;
+  double dram_cycles = 0.0;
+  double predictor_cycles = 0.0;  // ODQ only
+  double executor_cycles = 0.0;   // ODQ only
+  double idle_pe_fraction = 0.0;
+  double predictor_idle_fraction = 0.0;  // ODQ only
+  double executor_idle_fraction = 0.0;   // ODQ only
+  double dram_bytes = 0.0;
+  EnergyBreakdown energy;
+  PeAllocation allocation;  // ODQ only
+};
+
+struct SimResult {
+  std::string accelerator;
+  double total_cycles = 0.0;
+  double idle_pe_fraction = 0.0;  // cycle-weighted mean over layers
+  EnergyBreakdown energy;
+  std::vector<LayerSimResult> layers;
+};
+
+// Simulate one inference (one image) of `workloads` on `cfg`.
+SimResult simulate(const AcceleratorConfig& cfg,
+                   const std::vector<ConvWorkload>& workloads,
+                   const SimOptions& opts = {});
+
+}  // namespace odq::accel

@@ -1,0 +1,43 @@
+// Conv-layer workload descriptors feeding the accelerator simulator.
+//
+// The paper dumps binary mask maps from PyTorch inference and feeds them to
+// its accelerator simulator (§5.2). extract_workloads() reproduces that
+// methodology: it runs one batch through a Model with ODQ and DRQ executors
+// installed and records, per conv layer, the MAC counts, the ODQ
+// output-sensitive fraction with per-channel counts (workload balance), and
+// the DRQ input-sensitive fraction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/odq.hpp"
+#include "drq/drq.hpp"
+#include "nn/model.hpp"
+
+namespace odq::accel {
+
+struct ConvWorkload {
+  std::string name;
+  std::int64_t out_channels = 0;
+  std::int64_t out_elems = 0;      // outputs per image (C_out * OH * OW)
+  std::int64_t macs_per_out = 0;   // C_in * K * K
+  std::int64_t total_macs = 0;     // out_elems * macs_per_out
+  std::int64_t input_elems = 0;    // per image
+  std::int64_t weight_elems = 0;
+  double odq_sensitive_fraction = 0.0;
+  double drq_sensitive_input_fraction = 0.0;
+  // ODQ sensitive outputs per output channel (for one representative image).
+  std::vector<std::int64_t> sensitive_per_channel;
+};
+
+// Run `sample` (a [N,C,H,W] batch) through the model with ODQ (threshold
+// from `odq_cfg`) and DRQ (`drq_cfg`) executors and extract per-layer
+// workloads. The model's executors are restored to FP32 afterwards.
+std::vector<ConvWorkload> extract_workloads(nn::Model& model,
+                                            const tensor::Tensor& sample,
+                                            const core::OdqConfig& odq_cfg,
+                                            const drq::DrqConfig& drq_cfg);
+
+}  // namespace odq::accel

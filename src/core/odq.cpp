@@ -1,0 +1,248 @@
+#include "core/odq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/stats.hpp"
+
+namespace odq::core {
+
+namespace {
+
+// Quantize activations per the config: max calibration, or clipping at the
+// configured quantile of the (non-negative) activation distribution.
+quant::QTensor quantize_input(const tensor::Tensor& input,
+                              const OdqConfig& cfg) {
+  float clip = -1.0f;
+  if (cfg.act_clip_percentile > 0.0f && input.numel() > 0) {
+    std::vector<float> mags;
+    const std::int64_t stride =
+        std::max<std::int64_t>(1, input.numel() / 4096);
+    mags.reserve(static_cast<std::size_t>(input.numel() / stride) + 1);
+    for (std::int64_t i = 0; i < input.numel(); i += stride) {
+      mags.push_back(input[i] > 0.0f ? input[i] : 0.0f);
+    }
+    clip = static_cast<float>(util::percentile(
+        std::move(mags), static_cast<double>(cfg.act_clip_percentile)));
+    if (clip <= 0.0f) clip = -1.0f;  // degenerate: fall back to max
+  }
+  return quant::quantize_activations(input, cfg.total_bits, clip);
+}
+
+}  // namespace
+
+using quant::QTensor;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TensorI32;
+using tensor::TensorI8;
+using tensor::TensorU8;
+
+OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
+                       std::int64_t stride, std::int64_t pad,
+                       const OdqConfig& cfg) {
+  if (input.bits != cfg.total_bits || weight.bits != cfg.total_bits) {
+    throw std::invalid_argument("odq_conv: tensors must be total_bits wide");
+  }
+  const int lb = cfg.low_bits;
+
+  // Step 2: bit split.
+  quant::SplitTensor in_split = quant::split(input, lb);
+  quant::SplitTensor w_split = quant::split(weight, lb);
+
+  // Step 3: sensitivity prediction — I_HBS x W_HBS shifted by 2*low_bits.
+  const Shape& is = input.q.shape();
+  const Shape& ws = weight.q.shape();
+  const std::int64_t n = is[0];
+  const std::int64_t c = is[1], h = is[2], w = is[3];
+  const std::int64_t oc = ws[0], kh = ws[2], kw = ws[3];
+  const std::int64_t oh = tensor::conv_out_dim(h, kh, stride, pad);
+  const std::int64_t ow = tensor::conv_out_dim(w, kw, stride, pad);
+
+  OdqConvResult res;
+  res.scale = input.scale * weight.scale;
+  res.predictor_acc =
+      quant::conv2d_i8_fast(in_split.high, w_split.high, stride, pad);
+  for (std::int64_t i = 0; i < res.predictor_acc.numel(); ++i) {
+    res.predictor_acc[i] <<= 2 * lb;
+  }
+
+  // Threshold -> bit mask.
+  res.mask = TensorU8(Shape{n, oc, oh, ow});
+  res.sensitive_per_channel.assign(static_cast<std::size_t>(oc), 0);
+  std::int64_t sensitive = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < oc; ++ch) {
+      for (std::int64_t i = 0; i < oh * ow; ++i) {
+        const std::int64_t idx = ((b * oc + ch) * oh * ow) + i;
+        const float mag =
+            std::abs(static_cast<float>(res.predictor_acc[idx]) * res.scale);
+        const bool sens = mag >= cfg.threshold;
+        res.mask[idx] = sens ? 1 : 0;
+        if (sens) {
+          ++sensitive;
+          ++res.sensitive_per_channel[static_cast<std::size_t>(ch)];
+        }
+      }
+    }
+  }
+
+  // Step 4: result generation — remaining three terms, sensitive outputs
+  // only. Computed per masked output, mirroring the executor PE's work.
+  res.acc = res.predictor_acc;
+  const std::int8_t* ih = in_split.high.data();
+  const std::int8_t* il = in_split.low.data();
+  const std::int8_t* wh = w_split.high.data();
+  const std::int8_t* wl = w_split.low.data();
+  std::int64_t exec_macs = 0;
+
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t och = 0; och < oc; ++och) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const std::int64_t oidx = ((b * oc + och) * oh + oy) * ow + ox;
+          if (res.mask[oidx] == 0) continue;
+          std::int32_t cross = 0;  // ih*wl + il*wh
+          std::int32_t low = 0;    // il*wl
+          for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t ki = 0; ki < kh; ++ki) {
+              const std::int64_t iy = oy * stride - pad + ki;
+              if (iy < 0 || iy >= h) continue;
+              const std::int64_t irow = ((b * c + ic) * h + iy) * w;
+              const std::int64_t wrow = ((och * c + ic) * kh + ki) * kw;
+              for (std::int64_t kj = 0; kj < kw; ++kj) {
+                const std::int64_t ix = ox * stride - pad + kj;
+                if (ix < 0 || ix >= w) continue;
+                const std::int32_t a_h = ih[irow + ix];
+                const std::int32_t a_l = il[irow + ix];
+                const std::int32_t b_h = wh[wrow + kj];
+                const std::int32_t b_l = wl[wrow + kj];
+                cross += a_h * b_l + a_l * b_h;
+                low += a_l * b_l;
+                ++exec_macs;
+              }
+            }
+          }
+          res.acc[oidx] += (cross << lb) + low;
+        }
+      }
+    }
+  }
+
+  res.stats.calls = 1;
+  res.stats.outputs = n * oc * oh * ow;
+  res.stats.sensitive = sensitive;
+  res.stats.predictor_macs = res.stats.outputs * c * kh * kw;
+  res.stats.executor_macs = exec_macs;
+  return res;
+}
+
+Tensor odq_conv_float(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, std::int64_t stride, std::int64_t pad,
+                      const OdqConfig& cfg, OdqLayerStats* stats,
+                      TensorU8* mask_out) {
+  QTensor qin = quantize_input(input, cfg);
+  QTensor qw = quant::quantize_weights(weight, cfg.total_bits,
+                                       cfg.weight_transform);
+  OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg);
+
+  Tensor out(r.acc.shape());
+  for (std::int64_t i = 0; i < r.acc.numel(); ++i) {
+    out[i] = static_cast<float>(r.acc[i]) * r.scale;
+  }
+  if (!bias.empty()) {
+    const Shape& s = out.shape();
+    const std::int64_t n = s[0], oc = s[1], ohw = s[2] * s[3];
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t ch = 0; ch < oc; ++ch) {
+        float* p = out.data() + (b * oc + ch) * ohw;
+        const float bv = bias[ch];
+        for (std::int64_t i = 0; i < ohw; ++i) p[i] += bv;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = r.stats;
+  if (mask_out != nullptr) *mask_out = std::move(r.mask);
+  return out;
+}
+
+Tensor OdqConvExecutor::run(const Tensor& input, const Tensor& weight,
+                            const Tensor& bias, std::int64_t stride,
+                            std::int64_t pad, int conv_id) {
+  QTensor qin = quantize_input(input, cfg_);
+  QTensor qw =
+      quant::quantize_weights(weight, cfg_.total_bits, cfg_.weight_transform);
+  OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg_);
+
+  Tensor out(r.acc.shape());
+  for (std::int64_t i = 0; i < r.acc.numel(); ++i) {
+    out[i] = static_cast<float>(r.acc[i]) * r.scale;
+  }
+  if (!bias.empty()) {
+    const Shape& s = out.shape();
+    const std::int64_t n = s[0], oc = s[1], ohw = s[2] * s[3];
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t ch = 0; ch < oc; ++ch) {
+        float* p = out.data() + (b * oc + ch) * ohw;
+        const float bv = bias[ch];
+        for (std::int64_t i = 0; i < ohw; ++i) p[i] += bv;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto id = static_cast<std::size_t>(std::max(conv_id, 0));
+    if (stats_.size() <= id) {
+      stats_.resize(id + 1);
+      last_channel_counts_.resize(id + 1);
+    }
+    stats_[id].merge(r.stats);
+    last_channel_counts_[id] = std::move(r.sensitive_per_channel);
+    if (calibrate_) {
+      // Subsample predictor magnitudes (cap per call to bound memory).
+      const std::int64_t stride_s =
+          std::max<std::int64_t>(1, r.predictor_acc.numel() / 512);
+      for (std::int64_t i = 0; i < r.predictor_acc.numel(); i += stride_s) {
+        calib_samples_.push_back(
+            std::abs(static_cast<float>(r.predictor_acc[i]) * r.scale));
+      }
+    }
+  }
+  return out;
+}
+
+OdqLayerStats OdqConvExecutor::layer_stats(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto i = static_cast<std::size_t>(id);
+  return i < stats_.size() ? stats_[i] : OdqLayerStats{};
+}
+
+std::size_t OdqConvExecutor::num_layers_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.size();
+}
+
+void OdqConvExecutor::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.clear();
+  last_channel_counts_.clear();
+  calib_samples_.clear();
+}
+
+std::vector<std::int64_t> OdqConvExecutor::last_sensitive_per_channel(
+    int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto i = static_cast<std::size_t>(id);
+  return i < last_channel_counts_.size() ? last_channel_counts_[i]
+                                         : std::vector<std::int64_t>{};
+}
+
+std::vector<float> OdqConvExecutor::calibration_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return calib_samples_;
+}
+
+}  // namespace odq::core

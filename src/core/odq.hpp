@@ -1,0 +1,136 @@
+// ODQ: output-directed dynamic quantization (the paper's contribution).
+//
+// Pipeline per conv layer (paper §3, Fig. 6):
+//   1. Quantize the input feature map FP32 -> INT4 (unsigned, post-ReLU) and
+//      the weights -> INT4 (signed, DoReFa-style or linear).
+//   2. Split both into high-order 2 bits (HBS) and low-order 2 bits (LBS).
+//   3. Sensitivity prediction: convolve I_HBS x W_HBS, shift left by
+//      2*N_LBS = 4. Outputs whose dequantized predictor magnitude exceeds
+//      the threshold are *sensitive* (bit mask = 1).
+//   4. Result generation: for sensitive outputs only, add the remaining
+//      three partial products of Eq. (3):
+//      (I_HBS*W_LBS + I_LBS*W_HBS) << 2  +  I_LBS*W_LBS.
+//   5. Final output = predictor partial sums + executor remainders,
+//      dequantized with the combined input*weight scale (+ bias).
+//
+// Sensitive outputs are therefore *bit-exact* INT4xINT4 results; insensitive
+// outputs keep the predictor-only low-precision value. This is the property
+// that separates ODQ from input-directed schemes (DRQ): precision follows
+// output sensitivity, never input mixing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "quant/bitsplit.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace odq::core {
+
+struct OdqConfig {
+  float threshold = 0.5f;  // on |dequantized predictor output|
+  int total_bits = 4;      // INT4 codes
+  int low_bits = 2;        // LBS width (HBS = total - low)
+  // Linear by default: the DoReFa tanh transform belongs to training-time
+  // quantization; post-hoc it distorts FP32-trained weights. The paper's
+  // flow (DoReFa QAT + retraining) uses kDoReFa — the tanh normalization
+  // spreads weight codes across the INT4 range so their high-order bits
+  // (and hence the sensitivity predictor) carry information.
+  quant::WeightTransform weight_transform = quant::WeightTransform::kLinear;
+  // Activation clip calibration: <= 0 uses the per-tensor max; in (0, 1]
+  // clips at that quantile of the activation distribution, spreading codes
+  // across the range the way DoReFa's fixed [0,1] clip does. Values above
+  // the clip saturate at the top code.
+  float act_clip_percentile = -1.0f;
+};
+
+struct OdqLayerStats {
+  std::int64_t calls = 0;
+  std::int64_t outputs = 0;
+  std::int64_t sensitive = 0;
+  std::int64_t predictor_macs = 0;  // INT2 MACs (every output)
+  std::int64_t executor_macs = 0;   // remaining MACs (sensitive outputs only)
+
+  double sensitive_fraction() const {
+    return outputs > 0
+               ? static_cast<double>(sensitive) / static_cast<double>(outputs)
+               : 0.0;
+  }
+
+  void merge(const OdqLayerStats& other) {
+    calls += other.calls;
+    outputs += other.outputs;
+    sensitive += other.sensitive;
+    predictor_macs += other.predictor_macs;
+    executor_macs += other.executor_macs;
+  }
+};
+
+struct OdqConvResult {
+  tensor::TensorI32 acc;            // final accumulators
+  tensor::TensorI32 predictor_acc;  // predictor-only accumulators (shifted)
+  tensor::TensorU8 mask;            // 1 = sensitive
+  // Per-output-channel sensitive counts (summed over batch & space) — the
+  // accelerator simulator's workload-balance input.
+  std::vector<std::int64_t> sensitive_per_channel;
+  float scale = 1.0f;  // float value = acc * scale
+  OdqLayerStats stats;
+};
+
+// Core integer pipeline on already-quantized tensors. `input` must be an
+// unsigned QTensor with `cfg.total_bits` bits, `weight` a signed one.
+OdqConvResult odq_conv(const quant::QTensor& input,
+                       const quant::QTensor& weight, std::int64_t stride,
+                       std::int64_t pad, const OdqConfig& cfg);
+
+// Float-facing wrapper: quantizes, runs odq_conv, dequantizes, applies bias.
+tensor::Tensor odq_conv_float(const tensor::Tensor& input,
+                              const tensor::Tensor& weight,
+                              const tensor::Tensor& bias, std::int64_t stride,
+                              std::int64_t pad, const OdqConfig& cfg,
+                              OdqLayerStats* stats = nullptr,
+                              tensor::TensorU8* mask_out = nullptr);
+
+// ConvExecutor plugging ODQ into any Model. Thread-safe stat accumulation
+// keyed by conv id; optionally records per-layer bit masks and per-channel
+// sensitive counts for the accelerator simulator (the paper dumps binary
+// mask maps from PyTorch into its simulator the same way, §5.2).
+class OdqConvExecutor : public nn::ConvExecutor {
+ public:
+  explicit OdqConvExecutor(OdqConfig cfg) : cfg_(cfg) {}
+
+  tensor::Tensor run(const tensor::Tensor& input, const tensor::Tensor& weight,
+                     const tensor::Tensor& bias, std::int64_t stride,
+                     std::int64_t pad, int conv_id) override;
+
+  std::string name() const override { return "odq"; }
+
+  const OdqConfig& config() const { return cfg_; }
+  void set_threshold(float t) { cfg_.threshold = t; }
+
+  OdqLayerStats layer_stats(int id) const;
+  std::size_t num_layers_seen() const;
+  void reset_stats();
+
+  // Per-output-channel sensitive counts of the *last* call per layer
+  // (workload-balance input for the accelerator sim).
+  std::vector<std::int64_t> last_sensitive_per_channel(int id) const;
+
+  // When enabled, keeps per-layer predictor-magnitude samples so a caller
+  // can pick an initial threshold from the output distribution (§3).
+  void enable_calibration(bool on) { calibrate_ = on; }
+  std::vector<float> calibration_samples() const;
+
+ private:
+  OdqConfig cfg_;
+  bool calibrate_ = false;
+  mutable std::mutex mutex_;
+  std::vector<OdqLayerStats> stats_;
+  std::vector<std::vector<std::int64_t>> last_channel_counts_;
+  std::vector<float> calib_samples_;
+};
+
+}  // namespace odq::core

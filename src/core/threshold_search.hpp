@@ -1,0 +1,69 @@
+// Adaptive threshold selection (paper §3, "A key parameter in sensitivity
+// prediction is the threshold"):
+//
+//   1. Train the network with 4-bit weights and inputs (QAT with STE).
+//   2. Run N test inputs through the predictor path and collect the output
+//      distribution; pick a relatively large initial threshold from it.
+//   3. Retrain (fine-tune) the weights with the threshold in the loop.
+//   4. Evaluate ODQ accuracy; if it meets the expectation, stop. Otherwise
+//      halve the threshold and repeat.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/odq.hpp"
+#include "data/synthetic.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace odq::core {
+
+struct ThresholdSearchConfig {
+  // Accuracy may drop at most this much (absolute) vs the reference
+  // accuracy supplied by the caller (FP32 or INT4-static accuracy).
+  double accuracy_tolerance = 0.02;
+  // Initial threshold = this percentile of |predictor outputs|.
+  double init_percentile = 0.90;
+  int max_iterations = 8;
+  // Calibration inputs (N random test samples, paper §3).
+  std::int64_t calibration_inputs = 32;
+  // Fine-tuning between threshold updates ("weights are retrained after
+  // introducing the threshold"). 0 disables retraining.
+  std::int64_t finetune_epochs = 1;
+  nn::TrainConfig finetune;
+};
+
+struct ThresholdTracePoint {
+  float threshold;
+  double accuracy;
+  double sensitive_fraction;  // mean over conv layers
+};
+
+struct ThresholdSearchResult {
+  float threshold = 0.0f;
+  double accuracy = 0.0;
+  double reference_accuracy = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  std::vector<ThresholdTracePoint> trace;
+};
+
+// Pick the initial threshold from the predictor-output distribution of
+// `model` over `inputs` calibration images.
+float calibrate_initial_threshold(nn::Model& model,
+                                  const tensor::Tensor& inputs,
+                                  const OdqConfig& cfg, double percentile);
+
+// Full adaptive search. `reference_accuracy` is the accuracy the quantized
+// model must stay within `accuracy_tolerance` of. The model's weights may be
+// fine-tuned in place (as in the paper).
+ThresholdSearchResult search_threshold(nn::Model& model,
+                                       const data::Dataset& train,
+                                       const data::Dataset& test,
+                                       double reference_accuracy,
+                                       const OdqConfig& base_cfg,
+                                       const ThresholdSearchConfig& scfg);
+
+}  // namespace odq::core

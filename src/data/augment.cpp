@@ -1,0 +1,60 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace odq::data {
+
+void augment_image(tensor::Tensor& batch, std::int64_t offset,
+                   std::int64_t channels, std::int64_t height,
+                   std::int64_t width, const AugmentConfig& cfg,
+                   util::Rng& rng) {
+  float* img = batch.data() + offset;
+
+  if (cfg.horizontal_flip && rng.bernoulli(0.5)) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      for (std::int64_t y = 0; y < height; ++y) {
+        float* row = img + (c * height + y) * width;
+        std::reverse(row, row + width);
+      }
+    }
+  }
+
+  if (cfg.crop_pad > 0) {
+    // Shift by a random offset in [-pad, pad] on each axis, zero-filling
+    // the exposed border (equivalent to pad-then-crop).
+    const auto pad = static_cast<int>(cfg.crop_pad);
+    const int dy = rng.uniform_int(-pad, pad);
+    const int dx = rng.uniform_int(-pad, pad);
+    if (dy != 0 || dx != 0) {
+      std::vector<float> tmp(static_cast<std::size_t>(height * width));
+      for (std::int64_t c = 0; c < channels; ++c) {
+        float* plane = img + c * height * width;
+        std::fill(tmp.begin(), tmp.end(), 0.0f);
+        for (std::int64_t y = 0; y < height; ++y) {
+          const std::int64_t sy = y + dy;
+          if (sy < 0 || sy >= height) continue;
+          for (std::int64_t x = 0; x < width; ++x) {
+            const std::int64_t sx = x + dx;
+            if (sx < 0 || sx >= width) continue;
+            tmp[static_cast<std::size_t>(y * width + x)] =
+                plane[sy * width + sx];
+          }
+        }
+        std::copy(tmp.begin(), tmp.end(), plane);
+      }
+    }
+  }
+}
+
+void augment_batch(tensor::Tensor& batch, const AugmentConfig& cfg,
+                   util::Rng& rng) {
+  const auto& s = batch.shape();
+  const std::int64_t n = s[0], c = s[1], h = s[2], w = s[3];
+  const std::int64_t chw = c * h * w;
+  for (std::int64_t i = 0; i < n; ++i) {
+    augment_image(batch, i * chw, c, h, w, cfg, rng);
+  }
+}
+
+}  // namespace odq::data

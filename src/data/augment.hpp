@@ -1,0 +1,30 @@
+// Training-time data augmentation: the standard CIFAR recipe (random
+// horizontal flip + random crop with zero padding) the paper's training
+// pipeline uses.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace odq::data {
+
+struct AugmentConfig {
+  bool horizontal_flip = true;
+  // Random crop after padding by `crop_pad` pixels on each side (0 = off).
+  std::int64_t crop_pad = 4;
+};
+
+// Augment a single image [C,H,W] in place inside a batch tensor.
+// `offset` is the image's starting element within `batch`.
+void augment_image(tensor::Tensor& batch, std::int64_t offset,
+                   std::int64_t channels, std::int64_t height,
+                   std::int64_t width, const AugmentConfig& cfg,
+                   util::Rng& rng);
+
+// Augment every image of an NCHW batch (deterministic given the Rng state).
+void augment_batch(tensor::Tensor& batch, const AugmentConfig& cfg,
+                   util::Rng& rng);
+
+}  // namespace odq::data

@@ -1,0 +1,126 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace odq::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+// Per-class generative parameters.
+struct ClassParams {
+  // Two oriented gratings per channel.
+  float freq[2];
+  float angle[2];
+  float amp[2];
+  float color_bias[3];  // up to 3 channels used
+  // A soft blob.
+  float blob_cx, blob_cy, blob_r, blob_amp;
+};
+
+ClassParams sample_class(util::Rng& rng, std::int64_t channels) {
+  ClassParams p{};
+  for (int g = 0; g < 2; ++g) {
+    p.freq[g] = rng.uniform_f(1.5f, 5.5f);
+    p.angle[g] = rng.uniform_f(0.0f, kPi);
+    p.amp[g] = rng.uniform_f(0.25f, 0.5f);
+  }
+  for (std::int64_t c = 0; c < 3; ++c) {
+    p.color_bias[c] = c < channels ? rng.uniform_f(0.2f, 0.8f) : 0.0f;
+  }
+  p.blob_cx = rng.uniform_f(0.25f, 0.75f);
+  p.blob_cy = rng.uniform_f(0.25f, 0.75f);
+  p.blob_r = rng.uniform_f(0.12f, 0.3f);
+  p.blob_amp = rng.uniform_f(0.3f, 0.6f);
+  return p;
+}
+
+void render_sample(const ClassParams& p, const SyntheticConfig& cfg,
+                   util::Rng& rng, float* out) {
+  const std::int64_t c = cfg.channels, h = cfg.height, w = cfg.width;
+  const float phase0 = rng.uniform_f(0.0f, cfg.phase_jitter * 2.0f * kPi);
+  const float phase1 = rng.uniform_f(0.0f, cfg.phase_jitter * 2.0f * kPi);
+  const float gain = rng.uniform_f(0.8f, 1.2f);
+  const float jx = rng.uniform_f(-0.06f, 0.06f);
+  const float jy = rng.uniform_f(-0.06f, 0.06f);
+
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float bias = p.color_bias[std::min<std::int64_t>(ch, 2)];
+    for (std::int64_t y = 0; y < h; ++y) {
+      const float fy = static_cast<float>(y) / static_cast<float>(h);
+      for (std::int64_t x = 0; x < w; ++x) {
+        const float fx = static_cast<float>(x) / static_cast<float>(w);
+        float v = bias;
+        // Gratings (channel-dependent phase offset keeps channels distinct).
+        const float co = std::cos(p.angle[0]), si = std::sin(p.angle[0]);
+        v += p.amp[0] * std::sin(2.0f * kPi * p.freq[0] * (fx * co + fy * si) +
+                                 phase0 + 0.7f * static_cast<float>(ch));
+        const float co1 = std::cos(p.angle[1]), si1 = std::sin(p.angle[1]);
+        v += p.amp[1] *
+             std::sin(2.0f * kPi * p.freq[1] * (fx * co1 + fy * si1) + phase1);
+        // Blob.
+        const float dx = fx - (p.blob_cx + jx);
+        const float dy = fy - (p.blob_cy + jy);
+        v += p.blob_amp *
+             std::exp(-(dx * dx + dy * dy) / (2.0f * p.blob_r * p.blob_r));
+        // Noise, gain, clamp.
+        v = gain * v + rng.normal_f(0.0f, cfg.noise);
+        out[(ch * h + y) * w + x] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+Dataset generate(const SyntheticConfig& cfg,
+                 const std::vector<ClassParams>& classes, std::int64_t n,
+                 util::Rng& rng) {
+  Dataset ds;
+  ds.num_classes = cfg.num_classes;
+  ds.images = Tensor(Shape{n, cfg.channels, cfg.height, cfg.width});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t chw = cfg.channels * cfg.height * cfg.width;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % cfg.num_classes);
+    ds.labels[static_cast<std::size_t>(i)] = label;
+    render_sample(classes[static_cast<std::size_t>(label)], cfg, rng,
+                  ds.images.data() + i * chw);
+  }
+  return ds;
+}
+
+}  // namespace
+
+TrainTest make_synthetic_images(const SyntheticConfig& cfg,
+                                std::int64_t train_n, std::int64_t test_n) {
+  util::Rng rng(cfg.seed);
+  std::vector<ClassParams> classes;
+  classes.reserve(static_cast<std::size_t>(cfg.num_classes));
+  for (int k = 0; k < cfg.num_classes; ++k) {
+    classes.push_back(sample_class(rng, cfg.channels));
+  }
+  TrainTest tt;
+  tt.train = generate(cfg, classes, train_n, rng);
+  tt.test = generate(cfg, classes, test_n, rng);
+  return tt;
+}
+
+TrainTest make_synthetic_digits(std::int64_t train_n, std::int64_t test_n,
+                                std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 10;
+  cfg.channels = 1;
+  cfg.height = 28;
+  cfg.width = 28;
+  cfg.noise = 0.06f;
+  cfg.seed = seed;
+  return make_synthetic_images(cfg, train_n, test_n);
+}
+
+}  // namespace odq::data

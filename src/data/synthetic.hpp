@@ -1,0 +1,50 @@
+// Synthetic datasets standing in for CIFAR-10 / CIFAR-100 / MNIST.
+//
+// The environment has no dataset files, so the paper's data is substituted
+// with procedurally generated class-conditional images (see DESIGN.md §4):
+// each class owns a random set of oriented sinusoidal gratings, a color
+// bias, and a blob layout; samples perturb them with phase jitter, global
+// gain, and pixel noise. Small CNNs trained on these exhibit the activation
+// and weight distributions the paper's quantization analysis depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace odq::data {
+
+struct Dataset {
+  tensor::Tensor images;    // [N, C, H, W], values in [0, 1]
+  std::vector<int> labels;  // size N
+  int num_classes = 0;
+
+  std::int64_t size() const { return images.shape()[0]; }
+};
+
+struct SyntheticConfig {
+  int num_classes = 10;
+  std::int64_t channels = 3;
+  std::int64_t height = 32;
+  std::int64_t width = 32;
+  float noise = 0.08f;      // per-pixel Gaussian noise sigma
+  float phase_jitter = 1.0f;
+  std::uint64_t seed = 1234;
+};
+
+// CIFAR-like RGB dataset: `train_n` + `test_n` images drawn from the same
+// class-conditional generative process. Classes partition evenly.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+TrainTest make_synthetic_images(const SyntheticConfig& cfg,
+                                std::int64_t train_n, std::int64_t test_n);
+
+// MNIST-like grayscale 28x28 dataset (digit-ish stroke blobs).
+TrainTest make_synthetic_digits(std::int64_t train_n, std::int64_t test_n,
+                                std::uint64_t seed = 99);
+
+}  // namespace odq::data

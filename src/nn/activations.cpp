@@ -1,0 +1,32 @@
+#include "nn/activations.hpp"
+
+#include <stdexcept>
+
+namespace odq::nn {
+
+using tensor::Tensor;
+using tensor::TensorU8;
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor out(x.shape());
+  if (train) mask_ = TensorU8(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    out[i] = pos ? x[i] : 0.0f;
+    if (train) mask_[i] = pos ? 1 : 0;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (mask_.empty()) {
+    throw std::logic_error(label_ + ": backward before train-mode forward");
+  }
+  Tensor dx(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    dx[i] = mask_[i] != 0 ? grad_out[i] : 0.0f;
+  }
+  return dx;
+}
+
+}  // namespace odq::nn

@@ -1,0 +1,31 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace odq::nn {
+
+void kaiming_init(Model& model, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (Param* p : model.params()) {
+    const auto& shape = p->value.shape();
+    const bool is_weight = p->name.find(".weight") != std::string::npos;
+    const bool is_gamma = p->name.find(".gamma") != std::string::npos;
+    if (is_weight && shape.rank() >= 2) {
+      // fan_in = product of all dims except dim 0.
+      std::int64_t fan_in = 1;
+      for (std::size_t d = 1; d < shape.rank(); ++d) fan_in *= shape[d];
+      const float std_dev =
+          std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+      for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+        p->value[i] = rng.normal_f(0.0f, std_dev);
+      }
+    } else if (is_gamma) {
+      p->value.fill(1.0f);
+    } else {
+      p->value.fill(0.0f);
+    }
+  }
+}
+
+}  // namespace odq::nn

@@ -1,0 +1,13 @@
+// Weight initialization (Kaiming/He for conv and linear layers).
+#pragma once
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace odq::nn {
+
+// He-normal initialization of all conv/linear weights; BN gamma=1, beta=0;
+// biases zero. Deterministic given `seed`.
+void kaiming_init(Model& model, std::uint64_t seed);
+
+}  // namespace odq::nn

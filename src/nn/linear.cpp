@@ -1,0 +1,71 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace odq::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               std::string label)
+    : in_(in_features),
+      out_(out_features),
+      label_(std::move(label)),
+      weight_(label_ + ".weight", Shape{out_features, in_features}),
+      bias_(label_ + ".bias", Shape{out_features}) {}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 2 || x.shape()[1] != in_) {
+    throw std::invalid_argument(label_ + ": bad input shape " +
+                                x.shape().str());
+  }
+  const std::int64_t n = x.shape()[0];
+  Tensor out(Shape{n, out_});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * in_;
+    float* oi = out.data() + i * out_;
+    for (std::int64_t o = 0; o < out_; ++o) {
+      const float* wr = weight_.value.data() + o * in_;
+      float acc = bias_.value[o];
+      for (std::int64_t f = 0; f < in_; ++f) acc += xi[f] * wr[f];
+      oi[o] = acc;
+    }
+  }
+  if (train) cached_input_ = x;
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) {
+    throw std::logic_error(label_ + ": backward before forward");
+  }
+  const Tensor& x = cached_input_;
+  const std::int64_t n = x.shape()[0];
+  Tensor dx(x.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* gi = grad_out.data() + i * out_;
+    const float* xi = x.data() + i * in_;
+    float* dxi = dx.data() + i * in_;
+    for (std::int64_t o = 0; o < out_; ++o) {
+      const float g = gi[o];
+      bias_.grad[o] += g;
+      float* wg = weight_.grad.data() + o * in_;
+      const float* wr = weight_.value.data() + o * in_;
+      for (std::int64_t f = 0; f < in_; ++f) {
+        wg[f] += g * xi[f];
+        dxi[f] += g * wr[f];
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace odq::nn

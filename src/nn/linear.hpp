@@ -1,0 +1,32 @@
+// Fully connected layer: y = x W^T + b for x [N, in], W [out, in].
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace odq::nn {
+
+class Linear : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features,
+         std::string label = "fc");
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  std::string name() const override { return label_; }
+  void collect_params(std::vector<Param*>& out) override;
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  std::string label_;
+  Param weight_;
+  Param bias_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace odq::nn

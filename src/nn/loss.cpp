@@ -1,0 +1,37 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace odq::nn {
+
+using tensor::Tensor;
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  const std::int64_t n = logits.shape()[0];
+  const std::int64_t k = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossResult res;
+  res.grad_logits = tensor::softmax(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= k) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    float* row = res.grad_logits.data() + i * k;
+    loss -= std::log(std::max(row[y], 1e-12f));
+    row[y] -= 1.0f;
+    for (std::int64_t j = 0; j < k; ++j) row[j] *= inv_n;
+  }
+  res.loss = static_cast<float>(loss / static_cast<double>(n));
+  return res;
+}
+
+}  // namespace odq::nn

@@ -1,0 +1,19 @@
+// Softmax cross-entropy loss (fused, numerically stabilized).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace odq::nn {
+
+struct LossResult {
+  float loss = 0.0f;           // mean over the batch
+  tensor::Tensor grad_logits;  // d(mean loss)/d(logits), [N, K]
+};
+
+// logits [N, K], labels in [0, K).
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& labels);
+
+}  // namespace odq::nn

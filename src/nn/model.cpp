@@ -1,0 +1,172 @@
+#include "nn/model.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace odq::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor Model::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  return cur;
+}
+
+Tensor Model::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Model::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+std::vector<tensor::Tensor*> Model::buffers() {
+  std::vector<tensor::Tensor*> out;
+  for (auto& layer : layers_) layer->collect_buffers(out);
+  return out;
+}
+
+void Model::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::int64_t Model::num_parameters() {
+  std::int64_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+std::vector<Conv2d*> Model::assign_conv_ids() {
+  std::vector<Conv2d*> out;
+  for (auto& layer : layers_) {
+    layer->visit_convs([&out](Conv2d& c) {
+      c.set_conv_id(static_cast<int>(out.size()));
+      out.push_back(&c);
+    });
+  }
+  return out;
+}
+
+std::vector<Conv2d*> Model::convs() {
+  std::vector<Conv2d*> out;
+  for (auto& layer : layers_) {
+    layer->visit_convs([&out](Conv2d& c) { out.push_back(&c); });
+  }
+  return out;
+}
+
+void Model::set_conv_executor(const std::shared_ptr<ConvExecutor>& executor) {
+  for (Conv2d* c : convs()) c->set_executor(executor);
+}
+
+namespace {
+
+// Format v2: magic, param count, params, buffer count, buffers (BatchNorm
+// running statistics). Each tensor: u64 numel + float payload.
+constexpr std::uint32_t kMagic = 0x4F44514EU;  // "ODQN"
+
+void write_tensor(std::FILE* f, const tensor::Tensor& t) {
+  const auto n = static_cast<std::uint64_t>(t.numel());
+  std::fwrite(&n, sizeof(n), 1, f);
+  std::fwrite(t.data(), sizeof(float), static_cast<std::size_t>(n), f);
+}
+
+void read_tensor(std::FILE* f, tensor::Tensor& t, const std::string& path,
+                 const char* what) {
+  std::uint64_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1 ||
+      n != static_cast<std::uint64_t>(t.numel())) {
+    std::fclose(f);
+    throw std::runtime_error(std::string("Model::load: ") + what +
+                             " size mismatch in " + path);
+  }
+  if (std::fread(t.data(), sizeof(float), static_cast<std::size_t>(n), f) !=
+      n) {
+    std::fclose(f);
+    throw std::runtime_error("Model::load: truncated data in " + path);
+  }
+}
+
+}  // namespace
+
+void Model::save(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("Model::save: cannot open " + path);
+  auto ps = params();
+  auto bs = buffers();
+  const std::uint32_t magic = kMagic;
+  const auto pcount = static_cast<std::uint64_t>(ps.size());
+  const auto bcount = static_cast<std::uint64_t>(bs.size());
+  std::fwrite(&magic, sizeof(magic), 1, f);
+  std::fwrite(&pcount, sizeof(pcount), 1, f);
+  for (Param* p : ps) write_tensor(f, p->value);
+  std::fwrite(&bcount, sizeof(bcount), 1, f);
+  for (tensor::Tensor* b : bs) write_tensor(f, *b);
+  std::fclose(f);
+}
+
+void Model::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("Model::load: cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint64_t pcount = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kMagic) {
+    std::fclose(f);
+    throw std::runtime_error("Model::load: bad magic in " + path);
+  }
+  auto ps = params();
+  if (std::fread(&pcount, sizeof(pcount), 1, f) != 1 || pcount != ps.size()) {
+    std::fclose(f);
+    throw std::runtime_error("Model::load: parameter count mismatch in " +
+                             path);
+  }
+  for (Param* p : ps) read_tensor(f, p->value, path, "parameter");
+
+  auto bs = buffers();
+  std::uint64_t bcount = 0;
+  if (std::fread(&bcount, sizeof(bcount), 1, f) != 1 || bcount != bs.size()) {
+    std::fclose(f);
+    throw std::runtime_error("Model::load: buffer count mismatch in " + path);
+  }
+  for (tensor::Tensor* b : bs) read_tensor(f, *b, path, "buffer");
+  std::fclose(f);
+}
+
+double evaluate_accuracy(Model& model, const Tensor& images,
+                         const std::vector<int>& labels, std::int64_t batch) {
+  const std::int64_t n = images.shape()[0];
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("evaluate_accuracy: label count mismatch");
+  }
+  const std::int64_t c = images.shape()[1], h = images.shape()[2],
+                     w = images.shape()[3];
+  const std::int64_t chw = c * h * w;
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += batch) {
+    const std::int64_t bs = std::min(batch, n - start);
+    Tensor x(Shape{bs, c, h, w},
+             std::vector<float>(images.data() + start * chw,
+                                images.data() + (start + bs) * chw));
+    Tensor logits = model.forward(x, /*train=*/false);
+    for (std::int64_t i = 0; i < bs; ++i) {
+      if (tensor::argmax_row(logits, i) == labels[static_cast<std::size_t>(
+                                               start + i)]) {
+        ++correct;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace odq::nn

@@ -1,0 +1,70 @@
+// Model: an owning sequence of layers with save/load, parameter access,
+// conv enumeration and executor plumbing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+
+namespace odq::nn {
+
+class Model {
+ public:
+  Model() = default;
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // Add a layer; returns a typed reference for further configuration.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool train = false);
+  // Backward through the whole stack; returns grad w.r.t. the model input.
+  tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+  std::vector<Param*> params();
+  // Non-trainable serialized state (BatchNorm running statistics).
+  std::vector<tensor::Tensor*> buffers();
+  void zero_grad();
+  std::int64_t num_parameters();
+
+  // Enumerate conv layers in definition order and assign ids 0..K-1
+  // (the paper's C1..CK). Returns the conv pointers in id order.
+  std::vector<Conv2d*> assign_conv_ids();
+  std::vector<Conv2d*> convs();
+
+  // Install the same executor on every conv layer (null resets to FP32).
+  void set_conv_executor(const std::shared_ptr<ConvExecutor>& executor);
+
+  // Binary parameter serialization (values only; architecture must match).
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+// Top-1 accuracy of `model` on (images, labels): images [N,C,H,W] evaluated
+// in minibatches of `batch`.
+double evaluate_accuracy(Model& model, const tensor::Tensor& images,
+                         const std::vector<int>& labels,
+                         std::int64_t batch = 32);
+
+}  // namespace odq::nn

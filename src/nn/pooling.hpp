@@ -1,0 +1,69 @@
+// Pooling and reshaping layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace odq::nn {
+
+// k x k max pooling with stride k.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t k, std::string label = "maxpool")
+      : k_(k), label_(std::move(label)) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::int64_t k_;
+  std::string label_;
+  tensor::TensorI32 argmax_;
+  tensor::Shape input_shape_;
+};
+
+// k x k average pooling with stride k.
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(std::int64_t k, std::string label = "avgpool")
+      : k_(k), label_(std::move(label)) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::int64_t k_;
+  std::string label_;
+  tensor::Shape input_shape_;
+};
+
+// Global average pooling: [N,C,H,W] -> [N,C].
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string label = "gap") : label_(std::move(label)) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  tensor::Shape input_shape_;
+};
+
+// [N,C,H,W] -> [N, C*H*W].
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string label = "flatten") : label_(std::move(label)) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  tensor::Shape input_shape_;
+};
+
+}  // namespace odq::nn

@@ -1,0 +1,102 @@
+#include "nn/summary.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "nn/linear.hpp"
+#include "tensor/ops.hpp"
+
+namespace odq::nn {
+
+namespace {
+
+std::int64_t param_count(Layer& layer) {
+  std::vector<Param*> ps;
+  layer.collect_params(ps);
+  std::int64_t n = 0;
+  for (Param* p : ps) n += p->value.numel();
+  return n;
+}
+
+// Pass-through FP32 executor that records the exact MACs of every conv call
+// it sees, attributing them to the enclosing top-level layer.
+class CountingExecutor : public ConvExecutor {
+ public:
+  tensor::Tensor run(const tensor::Tensor& input, const tensor::Tensor& weight,
+                     const tensor::Tensor& bias, std::int64_t stride,
+                     std::int64_t pad, int /*conv_id*/) override {
+    const std::int64_t oh =
+        tensor::conv_out_dim(input.shape()[2], weight.shape()[2], stride, pad);
+    const std::int64_t ow =
+        tensor::conv_out_dim(input.shape()[3], weight.shape()[3], stride, pad);
+    // Per image (divide out the batch dimension).
+    macs_ += oh * ow * weight.shape()[0] * weight.shape()[1] *
+             weight.shape()[2] * weight.shape()[3];
+    return tensor::conv2d_direct(input, weight, bias, stride, pad);
+  }
+
+  std::string name() const override { return "counting"; }
+
+  std::int64_t take() {
+    const std::int64_t m = macs_;
+    macs_ = 0;
+    return m;
+  }
+
+ private:
+  std::int64_t macs_ = 0;
+};
+
+}  // namespace
+
+ModelSummary summarize(Model& model, const tensor::Shape& input_shape) {
+  ModelSummary s;
+  auto counter = std::make_shared<CountingExecutor>();
+  model.set_conv_executor(counter);
+
+  tensor::Tensor x(input_shape);
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    Layer& layer = model.layer(i);
+    const tensor::Shape in_shape = x.shape();
+    x = layer.forward(x, /*train=*/false);
+
+    LayerSummary ls;
+    ls.name = layer.name();
+    ls.output_shape = x.shape();
+    ls.parameters = param_count(layer);
+    ls.macs = counter->take();
+    // Linear layers are MACs too.
+    if (auto* fc = dynamic_cast<Linear*>(&layer)) {
+      ls.macs += fc->in_features() * fc->out_features();
+    }
+    s.total_parameters += ls.parameters;
+    s.total_macs += ls.macs;
+    s.layers.push_back(std::move(ls));
+  }
+  model.set_conv_executor(nullptr);
+  return s;
+}
+
+std::string ModelSummary::str() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %-20s %12s %14s\n", "layer",
+                "output shape", "params", "MACs");
+  out += line;
+  out += std::string(76, '-') + "\n";
+  for (const auto& l : layers) {
+    std::snprintf(line, sizeof(line), "%-28s %-20s %12lld %14lld\n",
+                  l.name.c_str(), l.output_shape.str().c_str(),
+                  static_cast<long long>(l.parameters),
+                  static_cast<long long>(l.macs));
+    out += line;
+  }
+  out += std::string(76, '-') + "\n";
+  std::snprintf(line, sizeof(line), "%-28s %-20s %12lld %14lld\n", "total", "",
+                static_cast<long long>(total_parameters),
+                static_cast<long long>(total_macs));
+  out += line;
+  return out;
+}
+
+}  // namespace odq::nn

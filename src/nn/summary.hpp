@@ -1,0 +1,31 @@
+// Model summary: per-layer output shapes, parameter counts and conv MACs
+// for a given input geometry (the usual `model.summary()` table).
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace odq::nn {
+
+struct LayerSummary {
+  std::string name;
+  tensor::Shape output_shape;
+  std::int64_t parameters = 0;
+  std::int64_t macs = 0;  // conv/linear multiply-accumulates, 0 otherwise
+};
+
+struct ModelSummary {
+  std::vector<LayerSummary> layers;
+  std::int64_t total_parameters = 0;
+  std::int64_t total_macs = 0;
+
+  // Render as an aligned text table.
+  std::string str() const;
+};
+
+// Runs one forward pass (eval mode) over a zero batch of `input_shape` to
+// discover output shapes. `input_shape` is a full NCHW shape.
+ModelSummary summarize(Model& model, const tensor::Shape& input_shape);
+
+}  // namespace odq::nn

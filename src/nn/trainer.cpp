@@ -1,0 +1,141 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+
+namespace odq::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+void SgdTrainer::sgd_step(Model& model, float lr) {
+  for (Param* p : model.params()) {
+    if (p->momentum.numel() != p->value.numel()) {
+      p->momentum = Tensor(p->value.shape());
+    }
+    const std::int64_t n = p->value.numel();
+    float* v = p->value.data();
+    float* g = p->grad.data();
+    float* m = p->momentum.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + cfg_.weight_decay * v[i];
+      m[i] = cfg_.momentum * m[i] + grad;
+      v[i] -= lr * m[i];
+    }
+  }
+}
+
+void SgdTrainer::adam_step(Model& model, float lr) {
+  ++adam_t_;
+  const float b1 = cfg_.adam_beta1, b2 = cfg_.adam_beta2;
+  const float bc1 =
+      1.0f - std::pow(b1, static_cast<float>(adam_t_));
+  const float bc2 =
+      1.0f - std::pow(b2, static_cast<float>(adam_t_));
+  for (Param* p : model.params()) {
+    if (p->momentum.numel() != p->value.numel()) {
+      p->momentum = Tensor(p->value.shape());
+    }
+    if (p->velocity.numel() != p->value.numel()) {
+      p->velocity = Tensor(p->value.shape());
+    }
+    const std::int64_t n = p->value.numel();
+    float* v = p->value.data();
+    float* g = p->grad.data();
+    float* m1 = p->momentum.data();
+    float* m2 = p->velocity.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + cfg_.weight_decay * v[i];
+      m1[i] = b1 * m1[i] + (1.0f - b1) * grad;
+      m2[i] = b2 * m2[i] + (1.0f - b2) * grad * grad;
+      const float mhat = m1[i] / bc1;
+      const float vhat = m2[i] / bc2;
+      v[i] -= lr * mhat / (std::sqrt(vhat) + cfg_.adam_eps);
+    }
+  }
+}
+
+EpochStats SgdTrainer::train_epoch(Model& model, const Tensor& images,
+                                   const std::vector<int>& labels,
+                                   std::int64_t epoch) {
+  const std::int64_t n = images.shape()[0];
+  const std::int64_t c = images.shape()[1], h = images.shape()[2],
+                     w = images.shape()[3];
+  const std::int64_t chw = c * h * w;
+
+  float lr = cfg_.lr;
+  if (cfg_.lr_step > 0) {
+    lr *= std::pow(cfg_.lr_decay,
+                   static_cast<float>(epoch / cfg_.lr_step));
+  }
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(cfg_.shuffle_seed + static_cast<std::uint64_t>(epoch));
+  std::shuffle(order.begin(), order.end(), rng);
+
+  double loss_sum = 0.0;
+  std::int64_t batches = 0;
+  std::int64_t correct = 0;
+
+  for (std::int64_t start = 0; start < n; start += cfg_.batch_size) {
+    const std::int64_t bs = std::min(cfg_.batch_size, n - start);
+    Tensor x(Shape{bs, c, h, w});
+    std::vector<int> y(static_cast<std::size_t>(bs));
+    for (std::int64_t i = 0; i < bs; ++i) {
+      const std::int64_t src = order[static_cast<std::size_t>(start + i)];
+      std::copy(images.data() + src * chw, images.data() + (src + 1) * chw,
+                x.data() + i * chw);
+      y[static_cast<std::size_t>(i)] = labels[static_cast<std::size_t>(src)];
+    }
+
+    if (cfg_.augment) cfg_.augment(x);
+
+    model.zero_grad();
+    Tensor logits = model.forward(x, /*train=*/true);
+    LossResult lr_res = softmax_cross_entropy(logits, y);
+    model.backward(lr_res.grad_logits);
+    if (cfg_.optimizer == Optimizer::kAdam) {
+      adam_step(model, lr);
+    } else {
+      sgd_step(model, lr);
+    }
+
+    loss_sum += lr_res.loss;
+    ++batches;
+    for (std::int64_t i = 0; i < bs; ++i) {
+      if (tensor::argmax_row(logits, i) == y[static_cast<std::size_t>(i)]) {
+        ++correct;
+      }
+    }
+  }
+
+  EpochStats stats;
+  stats.loss = batches > 0 ? static_cast<float>(loss_sum /
+                                                static_cast<double>(batches))
+                           : 0.0f;
+  stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  return stats;
+}
+
+void SgdTrainer::train(
+    Model& model, const Tensor& images, const std::vector<int>& labels,
+    const std::function<void(std::int64_t, const EpochStats&)>& on_epoch) {
+  for (std::int64_t e = 0; e < cfg_.epochs; ++e) {
+    EpochStats stats = train_epoch(model, images, labels, e);
+    if (cfg_.verbose) {
+      ODQ_LOG_INFO("%s epoch %lld/%lld loss=%.4f acc=%.3f",
+                   model.name().c_str(), static_cast<long long>(e + 1),
+                   static_cast<long long>(cfg_.epochs), stats.loss,
+                   stats.train_accuracy);
+    }
+    if (on_epoch) on_epoch(e, stats);
+  }
+}
+
+}  // namespace odq::nn

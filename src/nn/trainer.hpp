@@ -1,0 +1,64 @@
+// SGD trainer with momentum, weight decay and a step LR schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace odq::nn {
+
+enum class Optimizer { kSgd, kAdam };
+
+struct TrainConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 32;
+  Optimizer optimizer = Optimizer::kSgd;
+  float lr = 0.05f;
+  float momentum = 0.9f;       // SGD momentum
+  float adam_beta1 = 0.9f;
+  float adam_beta2 = 0.999f;
+  float adam_eps = 1e-8f;
+  float weight_decay = 1e-4f;
+  // Multiply lr by lr_decay every lr_step epochs (0 = no schedule).
+  std::int64_t lr_step = 0;
+  float lr_decay = 0.1f;
+  std::uint64_t shuffle_seed = 42;
+  bool verbose = false;
+  // Optional in-place batch transform applied before the forward pass
+  // (e.g. data::augment_batch bound to an Rng).
+  std::function<void(tensor::Tensor&)> augment;
+};
+
+struct EpochStats {
+  float loss = 0.0f;
+  double train_accuracy = 0.0;
+};
+
+class SgdTrainer {
+ public:
+  explicit SgdTrainer(TrainConfig cfg) : cfg_(cfg) {}
+
+  // One epoch over (images, labels); returns mean loss / accuracy.
+  EpochStats train_epoch(Model& model, const tensor::Tensor& images,
+                         const std::vector<int>& labels, std::int64_t epoch);
+
+  // Full run; invokes `on_epoch` (if set) after every epoch.
+  void train(Model& model, const tensor::Tensor& images,
+             const std::vector<int>& labels,
+             const std::function<void(std::int64_t, const EpochStats&)>&
+                 on_epoch = nullptr);
+
+  const TrainConfig& config() const { return cfg_; }
+
+ private:
+  void sgd_step(Model& model, float lr);
+  void adam_step(Model& model, float lr);
+
+  TrainConfig cfg_;
+  std::int64_t adam_t_ = 0;  // Adam bias-correction step counter
+};
+
+}  // namespace odq::nn

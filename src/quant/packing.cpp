@@ -1,0 +1,90 @@
+#include "quant/packing.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace odq::quant {
+
+namespace {
+
+void check_bits(int bits) {
+  if (bits != 1 && bits != 2 && bits != 4 && bits != 8) {
+    throw std::invalid_argument("packing: bits must be 1, 2, 4 or 8");
+  }
+}
+
+}  // namespace
+
+std::int64_t packed_size_bytes(std::int64_t count, int bits) {
+  check_bits(bits);
+  return (count * bits + 7) / 8;
+}
+
+std::vector<std::uint8_t> pack_codes(const tensor::TensorI8& codes, int bits,
+                                     bool is_signed) {
+  check_bits(bits);
+  const std::int32_t lo = is_signed ? -(1 << (bits - 1)) : 0;
+  const std::int32_t hi = is_signed ? (1 << (bits - 1)) - 1 : (1 << bits) - 1;
+  const std::uint32_t mask = (bits == 8) ? 0xFFu : ((1u << bits) - 1u);
+  const int per_byte = 8 / bits;
+
+  std::vector<std::uint8_t> out(
+      static_cast<std::size_t>(packed_size_bytes(codes.numel(), bits)), 0);
+  for (std::int64_t i = 0; i < codes.numel(); ++i) {
+    const std::int32_t v = codes[i];
+    if (v < lo || v > hi) {
+      throw std::out_of_range("pack_codes: code " + std::to_string(v) +
+                              " does not fit in " + std::to_string(bits) +
+                              " bits");
+    }
+    const auto field = static_cast<std::uint32_t>(v) & mask;
+    const std::size_t byte = static_cast<std::size_t>(i / per_byte);
+    const int shift = static_cast<int>(i % per_byte) * bits;
+    out[byte] |= static_cast<std::uint8_t>(field << shift);
+  }
+  return out;
+}
+
+tensor::TensorI8 unpack_codes(const std::vector<std::uint8_t>& packed,
+                              std::int64_t count, int bits, bool is_signed,
+                              tensor::Shape shape) {
+  check_bits(bits);
+  if (shape.numel() != count) {
+    throw std::invalid_argument("unpack_codes: shape/count mismatch");
+  }
+  if (static_cast<std::int64_t>(packed.size()) <
+      packed_size_bytes(count, bits)) {
+    throw std::invalid_argument("unpack_codes: packed buffer too small");
+  }
+  const std::uint32_t mask = (bits == 8) ? 0xFFu : ((1u << bits) - 1u);
+  const int per_byte = 8 / bits;
+  const std::int32_t sign_bit = 1 << (bits - 1);
+
+  tensor::TensorI8 out(std::move(shape));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::size_t byte = static_cast<std::size_t>(i / per_byte);
+    const int shift = static_cast<int>(i % per_byte) * bits;
+    auto field = static_cast<std::int32_t>((packed[byte] >> shift) & mask);
+    if (is_signed && (field & sign_bit) != 0) {
+      field -= (1 << bits);  // sign-extend the two's-complement field
+    }
+    out[i] = static_cast<std::int8_t>(field);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> pack(const QTensor& q) {
+  return pack_codes(q.q, q.bits, q.is_signed);
+}
+
+QTensor unpack(const std::vector<std::uint8_t>& packed, const QTensor& like) {
+  QTensor out;
+  out.scale = like.scale;
+  out.bits = like.bits;
+  out.is_signed = like.is_signed;
+  out.q = unpack_codes(packed, like.q.numel(), like.bits, like.is_signed,
+                       like.q.shape());
+  return out;
+}
+
+}  // namespace odq::quant

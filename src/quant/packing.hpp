@@ -1,0 +1,36 @@
+// Bit-packing for quantized tensors.
+//
+// QTensor keeps one code per byte for fast compute; storage and the
+// accelerator's DRAM traffic use packed layouts (2 codes per byte at INT4,
+// 4 at INT2). Packing is lossless for codes within the declared width;
+// signed codes are stored in two's complement within their field.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/qtensor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace odq::quant {
+
+// Number of bytes needed to pack `count` codes of `bits` width (bits must
+// divide 8: 1, 2, 4, or 8).
+std::int64_t packed_size_bytes(std::int64_t count, int bits);
+
+// Pack codes (one per int8 element) into a dense bit stream. Codes must fit
+// in `bits` (signed: [-2^(b-1), 2^(b-1)-1]; unsigned: [0, 2^b-1]); out-of-
+// range codes throw.
+std::vector<std::uint8_t> pack_codes(const tensor::TensorI8& codes, int bits,
+                                     bool is_signed);
+
+// Inverse of pack_codes. `count` is the number of codes to extract.
+tensor::TensorI8 unpack_codes(const std::vector<std::uint8_t>& packed,
+                              std::int64_t count, int bits, bool is_signed,
+                              tensor::Shape shape);
+
+// Convenience round-trip for a QTensor's payload.
+std::vector<std::uint8_t> pack(const QTensor& q);
+QTensor unpack(const std::vector<std::uint8_t>& packed, const QTensor& like);
+
+}  // namespace odq::quant

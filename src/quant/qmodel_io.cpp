@@ -1,0 +1,175 @@
+#include "quant/qmodel_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "quant/packing.hpp"
+
+namespace odq::quant {
+
+namespace {
+
+constexpr std::uint32_t kQMagic = 0x4F445151U;  // "ODQQ"
+
+// Record kinds in the stream.
+constexpr std::uint8_t kFloatTensor = 0;
+constexpr std::uint8_t kPackedTensor = 1;
+
+void fwrite_checked(const void* data, std::size_t size, std::size_t n,
+                    std::FILE* f, const std::string& path) {
+  if (std::fwrite(data, size, n, f) != n) {
+    std::fclose(f);
+    throw std::runtime_error("qmodel_io: short write to " + path);
+  }
+}
+
+void fread_checked(void* data, std::size_t size, std::size_t n, std::FILE* f,
+                   const std::string& path) {
+  if (std::fread(data, size, n, f) != n) {
+    std::fclose(f);
+    throw std::runtime_error("qmodel_io: truncated read from " + path);
+  }
+}
+
+// Conv weight params are the 4-D ".weight" tensors of conv layers.
+std::set<const nn::Param*> conv_weight_params(nn::Model& model) {
+  std::set<const nn::Param*> out;
+  for (nn::Conv2d* conv : model.convs()) out.insert(&conv->weight());
+  return out;
+}
+
+}  // namespace
+
+std::int64_t save_quantized_model(nn::Model& model, const std::string& path,
+                                  const QModelSaveOptions& opts) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("save_quantized_model: cannot open " + path);
+  }
+  const auto conv_weights = conv_weight_params(model);
+  auto params = model.params();
+  auto buffers = model.buffers();
+
+  fwrite_checked(&kQMagic, sizeof(kQMagic), 1, f, path);
+  const auto pcount = static_cast<std::uint64_t>(params.size());
+  const auto bcount = static_cast<std::uint64_t>(buffers.size());
+  const auto bits = static_cast<std::uint8_t>(opts.weight_bits);
+  fwrite_checked(&pcount, sizeof(pcount), 1, f, path);
+  fwrite_checked(&bcount, sizeof(bcount), 1, f, path);
+  fwrite_checked(&bits, sizeof(bits), 1, f, path);
+
+  auto write_float_tensor = [&](const tensor::Tensor& t) {
+    const std::uint8_t kind = kFloatTensor;
+    const auto n = static_cast<std::uint64_t>(t.numel());
+    fwrite_checked(&kind, sizeof(kind), 1, f, path);
+    fwrite_checked(&n, sizeof(n), 1, f, path);
+    fwrite_checked(t.data(), sizeof(float), static_cast<std::size_t>(n), f,
+                   path);
+  };
+
+  for (nn::Param* p : params) {
+    if (conv_weights.count(p) != 0) {
+      QTensor q = quantize_weights(p->value, opts.weight_bits, opts.transform);
+      const std::vector<std::uint8_t> packed = pack(q);
+      const std::uint8_t kind = kPackedTensor;
+      const auto n = static_cast<std::uint64_t>(q.q.numel());
+      const auto bytes = static_cast<std::uint64_t>(packed.size());
+      fwrite_checked(&kind, sizeof(kind), 1, f, path);
+      fwrite_checked(&n, sizeof(n), 1, f, path);
+      fwrite_checked(&q.scale, sizeof(q.scale), 1, f, path);
+      fwrite_checked(&bytes, sizeof(bytes), 1, f, path);
+      fwrite_checked(packed.data(), 1, packed.size(), f, path);
+    } else {
+      write_float_tensor(p->value);
+    }
+  }
+  for (tensor::Tensor* b : buffers) write_float_tensor(*b);
+
+  const long pos = std::ftell(f);
+  std::fclose(f);
+  return pos;
+}
+
+void load_quantized_model(nn::Model& model, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("load_quantized_model: cannot open " + path);
+  }
+  std::uint32_t magic = 0;
+  fread_checked(&magic, sizeof(magic), 1, f, path);
+  if (magic != kQMagic) {
+    std::fclose(f);
+    throw std::runtime_error("load_quantized_model: bad magic in " + path);
+  }
+  std::uint64_t pcount = 0, bcount = 0;
+  std::uint8_t bits = 0;
+  fread_checked(&pcount, sizeof(pcount), 1, f, path);
+  fread_checked(&bcount, sizeof(bcount), 1, f, path);
+  fread_checked(&bits, sizeof(bits), 1, f, path);
+
+  auto params = model.params();
+  auto buffers = model.buffers();
+  if (pcount != params.size() || bcount != buffers.size()) {
+    std::fclose(f);
+    throw std::runtime_error("load_quantized_model: architecture mismatch in " +
+                             path);
+  }
+
+  auto read_into = [&](tensor::Tensor& dst) {
+    std::uint8_t kind = 0;
+    std::uint64_t n = 0;
+    fread_checked(&kind, sizeof(kind), 1, f, path);
+    fread_checked(&n, sizeof(n), 1, f, path);
+    if (n != static_cast<std::uint64_t>(dst.numel())) {
+      std::fclose(f);
+      throw std::runtime_error("load_quantized_model: size mismatch in " +
+                               path);
+    }
+    if (kind == kFloatTensor) {
+      fread_checked(dst.data(), sizeof(float), static_cast<std::size_t>(n), f,
+                    path);
+    } else if (kind == kPackedTensor) {
+      float scale = 0.0f;
+      std::uint64_t bytes = 0;
+      fread_checked(&scale, sizeof(scale), 1, f, path);
+      fread_checked(&bytes, sizeof(bytes), 1, f, path);
+      std::vector<std::uint8_t> packed(static_cast<std::size_t>(bytes));
+      fread_checked(packed.data(), 1, packed.size(), f, path);
+      tensor::TensorI8 codes =
+          unpack_codes(packed, static_cast<std::int64_t>(n), bits,
+                       /*is_signed=*/true, dst.shape());
+      for (std::int64_t i = 0; i < dst.numel(); ++i) {
+        dst[i] = static_cast<float>(codes[i]) * scale;
+      }
+    } else {
+      std::fclose(f);
+      throw std::runtime_error("load_quantized_model: bad record kind in " +
+                               path);
+    }
+  };
+
+  for (nn::Param* p : params) read_into(p->value);
+  for (tensor::Tensor* b : buffers) read_into(*b);
+  std::fclose(f);
+}
+
+std::int64_t quantized_checkpoint_bytes(nn::Model& model, int weight_bits) {
+  const auto conv_weights = conv_weight_params(model);
+  std::int64_t bytes = 4 + 8 + 8 + 1;  // header
+  for (nn::Param* p : model.params()) {
+    if (conv_weights.count(p) != 0) {
+      bytes += 1 + 8 + 4 + 8 + packed_size_bytes(p->value.numel(), weight_bits);
+    } else {
+      bytes += 1 + 8 + p->value.numel() * 4;
+    }
+  }
+  for (tensor::Tensor* b : model.buffers()) {
+    bytes += 1 + 8 + b->numel() * 4;
+  }
+  return bytes;
+}
+
+}  // namespace odq::quant

@@ -1,0 +1,37 @@
+// Quantized checkpoint format: every conv weight tensor packed at its
+// quantized width (two INT4 codes per byte) plus its scale, with all other
+// parameters (biases, BN affine/running stats, FC weights) in float.
+//
+// This is the artifact a deployment flow ships to the accelerator: weights
+// are stored exactly as the PE arrays consume them. Loading re-expands codes
+// and installs the dequantized weights, so a loaded model reproduces the
+// quantized forward pass bit-for-bit (the codes, not the float originals,
+// are the source of truth).
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+#include "quant/quantizer.hpp"
+
+namespace odq::quant {
+
+struct QModelSaveOptions {
+  int weight_bits = 4;
+  WeightTransform transform = WeightTransform::kLinear;
+};
+
+// Serialize `model` with conv weights quantized+packed. Returns bytes
+// written. Throws on I/O failure.
+std::int64_t save_quantized_model(nn::Model& model, const std::string& path,
+                                  const QModelSaveOptions& opts = {});
+
+// Load a quantized checkpoint produced by save_quantized_model into a model
+// of identical architecture. Conv weights become the *dequantized* codes.
+void load_quantized_model(nn::Model& model, const std::string& path);
+
+// Size in bytes a quantized checkpoint of this model would occupy
+// (for compression-ratio reporting).
+std::int64_t quantized_checkpoint_bytes(nn::Model& model, int weight_bits = 4);
+
+}  // namespace odq::quant

@@ -1,0 +1,356 @@
+#include "quant/quantizer.hpp"
+
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odq::quant {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TensorI32;
+using tensor::TensorI8;
+
+tensor::Tensor QTensor::dequantize() const {
+  Tensor out(q.shape());
+  const std::int8_t* src = q.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < q.numel(); ++i) {
+    dst[i] = static_cast<float>(src[i]) * scale;
+  }
+  return out;
+}
+
+namespace {
+
+float max_abs(const Tensor& t) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < t.numel(); ++i) m = std::max(m, std::abs(t[i]));
+  return m;
+}
+
+std::int8_t clamp_code(float v, std::int32_t lo, std::int32_t hi) {
+  const float r = std::nearbyint(v);
+  const auto c = static_cast<std::int32_t>(r);
+  return static_cast<std::int8_t>(std::clamp(c, lo, hi));
+}
+
+}  // namespace
+
+QTensor quantize_weights(const Tensor& w, int bits, WeightTransform transform) {
+  if (bits < 2 || bits > 8) {
+    throw std::invalid_argument("quantize_weights: bits must be in [2,8]");
+  }
+  QTensor out;
+  out.bits = bits;
+  out.is_signed = true;
+  out.q = TensorI8(w.shape());
+  const std::int32_t qmax = out.qmax();
+
+  if (transform == WeightTransform::kDoReFa) {
+    // DoReFa: normalize through tanh, code the normalized weights, then fold
+    // the normalization magnitude back into the scale so dequantize()
+    // approximates the original weights.
+    Tensor t(w.shape());
+    for (std::int64_t i = 0; i < w.numel(); ++i) t[i] = std::tanh(w[i]);
+    const float tmax = max_abs(t);
+    const float denom = tmax > 0.0f ? tmax : 1.0f;
+    out.scale = denom / static_cast<float>(qmax);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      out.q[i] = clamp_code(t[i] / out.scale, -qmax, qmax);
+    }
+  } else {
+    const float wmax = max_abs(w);
+    out.scale = (wmax > 0.0f ? wmax : 1.0f) / static_cast<float>(qmax);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      out.q[i] = clamp_code(w[i] / out.scale, -qmax, qmax);
+    }
+  }
+  return out;
+}
+
+QTensor quantize_activations(const Tensor& x, int bits, float clip) {
+  // Unsigned codes live in int8 storage, so at most 7 bits here. Wider
+  // activations (INT8/INT16 baselines) use fake_quantize_activations.
+  if (bits < 2 || bits > 7) {
+    throw std::invalid_argument("quantize_activations: bits must be in [2,7]");
+  }
+  QTensor out;
+  out.bits = bits;
+  out.is_signed = false;
+  out.q = TensorI8(x.shape());
+  const std::int32_t qmax = out.qmax();
+  float xmax = clip;
+  if (xmax <= 0.0f) {
+    xmax = 0.0f;
+    for (std::int64_t i = 0; i < x.numel(); ++i) xmax = std::max(xmax, x[i]);
+  }
+  out.scale = (xmax > 0.0f ? xmax : 1.0f) / static_cast<float>(qmax);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out.q[i] = clamp_code(std::max(x[i], 0.0f) / out.scale, 0, qmax);
+  }
+  return out;
+}
+
+QTensor quantize_signed(const Tensor& x, int bits) {
+  if (bits < 2 || bits > 8) {
+    throw std::invalid_argument("quantize_signed: bits must be in [2,8]");
+  }
+  QTensor out;
+  out.bits = bits;
+  out.is_signed = true;
+  out.q = TensorI8(x.shape());
+  const std::int32_t qmax = out.qmax();
+  const float xmax = max_abs(x);
+  out.scale = (xmax > 0.0f ? xmax : 1.0f) / static_cast<float>(qmax);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out.q[i] = clamp_code(x[i] / out.scale, -qmax, qmax);
+  }
+  return out;
+}
+
+Tensor fake_quantize_weights(const Tensor& w, int bits,
+                             WeightTransform transform) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("fake_quantize_weights: bits must be in [2,16]");
+  }
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  Tensor out(w.shape());
+  if (transform == WeightTransform::kDoReFa) {
+    Tensor t(w.shape());
+    float tmax = 0.0f;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      t[i] = std::tanh(w[i]);
+      tmax = std::max(tmax, std::abs(t[i]));
+    }
+    const float scale = (tmax > 0.0f ? tmax : 1.0f) / qmax;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      out[i] = std::clamp(std::nearbyint(t[i] / scale), -qmax, qmax) * scale;
+    }
+  } else {
+    const float wmax = max_abs(w);
+    const float scale = (wmax > 0.0f ? wmax : 1.0f) / qmax;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      out[i] = std::clamp(std::nearbyint(w[i] / scale), -qmax, qmax) * scale;
+    }
+  }
+  return out;
+}
+
+Tensor fake_quantize_activations(const Tensor& x, int bits, float clip) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument(
+        "fake_quantize_activations: bits must be in [2,16]");
+  }
+  const float qmax = static_cast<float>((1 << bits) - 1);
+  float xmax = clip;
+  if (xmax <= 0.0f) {
+    xmax = 0.0f;
+    for (std::int64_t i = 0; i < x.numel(); ++i) xmax = std::max(xmax, x[i]);
+  }
+  const float scale = (xmax > 0.0f ? xmax : 1.0f) / qmax;
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = std::clamp(std::nearbyint(std::max(x[i], 0.0f) / scale), 0.0f,
+                        qmax) *
+             scale;
+  }
+  return out;
+}
+
+tensor::Tensor QTensorPerChannel::dequantize() const {
+  Tensor out(q.shape());
+  const std::int64_t oc = q.shape()[0];
+  const std::int64_t per = q.numel() / std::max<std::int64_t>(oc, 1);
+  for (std::int64_t c = 0; c < oc; ++c) {
+    const float s = scales[static_cast<std::size_t>(c)];
+    for (std::int64_t i = 0; i < per; ++i) {
+      out[c * per + i] = static_cast<float>(q[c * per + i]) * s;
+    }
+  }
+  return out;
+}
+
+QTensorPerChannel quantize_weights_per_channel(const Tensor& w, int bits,
+                                               WeightTransform transform) {
+  if (bits < 2 || bits > 8) {
+    throw std::invalid_argument(
+        "quantize_weights_per_channel: bits must be in [2,8]");
+  }
+  if (w.shape().rank() < 2) {
+    throw std::invalid_argument(
+        "quantize_weights_per_channel: need an OIHW/OI tensor");
+  }
+  QTensorPerChannel out;
+  out.bits = bits;
+  out.q = TensorI8(w.shape());
+  const std::int64_t oc = w.shape()[0];
+  const std::int64_t per = w.numel() / oc;
+  out.scales.resize(static_cast<std::size_t>(oc));
+  const auto qmax = static_cast<std::int32_t>((1 << (bits - 1)) - 1);
+
+  // DoReFa's tanh normalization is a per-tensor transform; apply it first,
+  // then scale each filter independently.
+  Tensor t = w;
+  if (transform == WeightTransform::kDoReFa) {
+    float tmax = 0.0f;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      t[i] = std::tanh(w[i]);
+      tmax = std::max(tmax, std::abs(t[i]));
+    }
+    if (tmax > 0.0f) {
+      for (std::int64_t i = 0; i < w.numel(); ++i) t[i] /= tmax;
+    }
+  }
+  for (std::int64_t c = 0; c < oc; ++c) {
+    float cmax = 0.0f;
+    for (std::int64_t i = 0; i < per; ++i) {
+      cmax = std::max(cmax, std::abs(t[c * per + i]));
+    }
+    const float scale = (cmax > 0.0f ? cmax : 1.0f) / static_cast<float>(qmax);
+    out.scales[static_cast<std::size_t>(c)] = scale;
+    for (std::int64_t i = 0; i < per; ++i) {
+      out.q[c * per + i] = clamp_code(t[c * per + i] / scale, -qmax, qmax);
+    }
+  }
+  return out;
+}
+
+Tensor fake_quantize_weights_per_channel(const Tensor& w, int bits,
+                                         WeightTransform transform) {
+  return quantize_weights_per_channel(w, bits, transform).dequantize();
+}
+
+TensorI32 conv2d_i8(const TensorI8& input, const TensorI8& weight,
+                    std::int64_t stride, std::int64_t pad) {
+  const Shape& is = input.shape();
+  const Shape& ws = weight.shape();
+  const std::int64_t oh = tensor::conv_out_dim(is[2], ws[2], stride, pad);
+  const std::int64_t ow = tensor::conv_out_dim(is[3], ws[3], stride, pad);
+  TensorI32 out(Shape{is[0], ws[0], oh, ow});
+  conv2d_i8_accum(input, weight, stride, pad, /*shift=*/0, out);
+  return out;
+}
+
+void conv2d_i8_accum(const TensorI8& input, const TensorI8& weight,
+                     std::int64_t stride, std::int64_t pad, int shift,
+                     TensorI32& out) {
+  const Shape& is = input.shape();
+  const Shape& ws = weight.shape();
+  if (is.rank() != 4 || ws.rank() != 4) {
+    throw std::invalid_argument("conv2d_i8: need NCHW input, OIHW weight");
+  }
+  if (is[1] != ws[1]) {
+    throw std::invalid_argument("conv2d_i8: channel mismatch");
+  }
+  const std::int64_t n = is[0], c = is[1], h = is[2], w = is[3];
+  const std::int64_t o = ws[0], kh = ws[2], kw = ws[3];
+  const std::int64_t oh = tensor::conv_out_dim(h, kh, stride, pad);
+  const std::int64_t ow = tensor::conv_out_dim(w, kw, stride, pad);
+  if (out.shape() != Shape{n, o, oh, ow}) {
+    throw std::invalid_argument("conv2d_i8_accum: bad output shape");
+  }
+
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t oc = 0; oc < o; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          std::int32_t acc = 0;
+          for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t ki = 0; ki < kh; ++ki) {
+              const std::int64_t iy = oy * stride - pad + ki;
+              if (iy < 0 || iy >= h) continue;
+              const std::int8_t* irow = input.data() + ((b * c + ic) * h + iy) * w;
+              const std::int8_t* wrow =
+                  weight.data() + ((oc * c + ic) * kh + ki) * kw;
+              for (std::int64_t kj = 0; kj < kw; ++kj) {
+                const std::int64_t ix = ox * stride - pad + kj;
+                if (ix < 0 || ix >= w) continue;
+                acc += static_cast<std::int32_t>(irow[ix]) *
+                       static_cast<std::int32_t>(wrow[kj]);
+              }
+            }
+          }
+          out.at4(b, oc, oy, ox) += acc << shift;
+        }
+      }
+    }
+  }
+}
+
+TensorI8 im2col_i8(const TensorI8& input, std::int64_t kh, std::int64_t kw,
+                   std::int64_t stride, std::int64_t pad) {
+  const Shape& s = input.shape();
+  if (s.rank() != 4) {
+    throw std::invalid_argument("im2col_i8: input must be NCHW");
+  }
+  const std::int64_t n = s[0], c = s[1], h = s[2], w = s[3];
+  const std::int64_t oh = tensor::conv_out_dim(h, kh, stride, pad);
+  const std::int64_t ow = tensor::conv_out_dim(w, kw, stride, pad);
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("im2col_i8: kernel larger than padded input");
+  }
+  TensorI8 cols(Shape{n, c * kh * kw, oh * ow});
+  const std::int64_t col_stride = oh * ow;
+  for (std::int64_t b = 0; b < n; ++b) {
+    const std::int8_t* img = input.data() + b * c * h * w;
+    std::int8_t* dst = cols.data() + b * c * kh * kw * col_stride;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t ki = 0; ki < kh; ++ki) {
+        for (std::int64_t kj = 0; kj < kw; ++kj) {
+          std::int8_t* row = dst + ((ch * kh + ki) * kw + kj) * col_stride;
+          std::int64_t idx = 0;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            const std::int64_t iy = oy * stride - pad + ki;
+            for (std::int64_t ox = 0; ox < ow; ++ox, ++idx) {
+              const std::int64_t ix = ox * stride - pad + kj;
+              row[idx] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                             ? img[(ch * h + iy) * w + ix]
+                             : static_cast<std::int8_t>(0);
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+TensorI32 conv2d_i8_fast(const TensorI8& input, const TensorI8& weight,
+                         std::int64_t stride, std::int64_t pad) {
+  const Shape& is = input.shape();
+  const Shape& ws = weight.shape();
+  if (is.rank() != 4 || ws.rank() != 4 || is[1] != ws[1]) {
+    throw std::invalid_argument("conv2d_i8_fast: bad shapes");
+  }
+  const std::int64_t n = is[0];
+  const std::int64_t o = ws[0], kh = ws[2], kw = ws[3];
+  const std::int64_t ckk = ws[1] * kh * kw;
+  const std::int64_t oh = tensor::conv_out_dim(is[2], kh, stride, pad);
+  const std::int64_t ow = tensor::conv_out_dim(is[3], kw, stride, pad);
+  const std::int64_t ohw = oh * ow;
+
+  TensorI8 cols = im2col_i8(input, kh, kw, stride, pad);
+  TensorI32 out(Shape{n, o, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    const std::int8_t* col = cols.data() + b * ckk * ohw;
+    for (std::int64_t oc = 0; oc < o; ++oc) {
+      const std::int8_t* wrow = weight.data() + oc * ckk;
+      std::int32_t* orow = out.data() + (b * o + oc) * ohw;
+      std::fill(orow, orow + ohw, 0);
+      for (std::int64_t p = 0; p < ckk; ++p) {
+        const std::int32_t wv = wrow[p];
+        if (wv == 0) continue;
+        const std::int8_t* crow = col + p * ohw;
+        for (std::int64_t j = 0; j < ohw; ++j) {
+          orow[j] += wv * static_cast<std::int32_t>(crow[j]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace odq::quant

@@ -1,0 +1,21 @@
+#include "quant/static_executor.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace odq::quant {
+
+tensor::Tensor StaticQuantConvExecutor::run(const tensor::Tensor& input,
+                                            const tensor::Tensor& weight,
+                                            const tensor::Tensor& bias,
+                                            std::int64_t stride,
+                                            std::int64_t pad,
+                                            int /*conv_id*/) {
+  tensor::Tensor qin = fake_quantize_activations(input, bits_);
+  tensor::Tensor qw =
+      per_channel_
+          ? fake_quantize_weights_per_channel(weight, bits_, transform_)
+          : fake_quantize_weights(weight, bits_, transform_);
+  return tensor::conv2d_direct(qin, qw, bias, stride, pad);
+}
+
+}  // namespace odq::quant

@@ -1,0 +1,38 @@
+// Static quantization executor: DoReFa-Net-style INT16 / INT8 / INT4
+// inference (the paper's static baselines). Weights and activations are
+// quantized per-tensor at a fixed bit width for every conv layer.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "quant/quantizer.hpp"
+
+namespace odq::quant {
+
+class StaticQuantConvExecutor : public nn::ConvExecutor {
+ public:
+  // The DoReFa tanh transform is a *training-time* normalization; applying
+  // it post-hoc to FP32-trained weights distorts them, so post-training
+  // executors default to linear quantization. `per_channel` quantizes
+  // weights with one scale per output channel.
+  explicit StaticQuantConvExecutor(
+      int bits, WeightTransform transform = WeightTransform::kLinear,
+      bool per_channel = false)
+      : bits_(bits), transform_(transform), per_channel_(per_channel) {}
+
+  tensor::Tensor run(const tensor::Tensor& input, const tensor::Tensor& weight,
+                     const tensor::Tensor& bias, std::int64_t stride,
+                     std::int64_t pad, int conv_id) override;
+
+  std::string name() const override {
+    return "static_int" + std::to_string(bits_);
+  }
+
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+  WeightTransform transform_;
+  bool per_channel_;
+};
+
+}  // namespace odq::quant

@@ -1,0 +1,60 @@
+// Shape: dimension vector with row-major linearization helpers.
+//
+// Convention throughout the library: activations are NCHW
+// (batch, channels, height, width) and conv weights are OIHW
+// (out-channels, in-channels, kernel-h, kernel-w).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace odq::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+
+  std::int64_t dim(std::size_t i) const { return dims_.at(i); }
+  std::int64_t operator[](std::size_t i) const { return dims_[i]; }
+
+  std::int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(),
+                           static_cast<std::int64_t>(1),
+                           [](std::int64_t a, std::int64_t b) { return a * b; });
+  }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void validate() const {
+    for (std::int64_t d : dims_) {
+      if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+    }
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace odq::tensor

@@ -1,0 +1,94 @@
+// Dense row-major tensor over a trivially-copyable element type.
+//
+// TensorT owns its storage (std::vector) and provides bounds-checked element
+// access in debug paths plus raw data() access for hot kernels. The float
+// alias `Tensor` is the workhorse of the NN substrate; int8/int32 aliases
+// carry quantized values and accumulators.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace odq::tensor {
+
+template <typename T>
+class TensorT {
+ public:
+  TensorT() = default;
+
+  explicit TensorT(Shape shape, T fill = T{})
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+  TensorT(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+      throw std::invalid_argument("TensorT: data size does not match shape");
+    }
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  T& at(std::int64_t i) { return data_.at(static_cast<std::size_t>(i)); }
+  const T& at(std::int64_t i) const {
+    return data_.at(static_cast<std::size_t>(i));
+  }
+
+  // 4-D (NCHW / OIHW) access.
+  T& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(index4(n, c, h, w))];
+  }
+  const T& at4(std::int64_t n, std::int64_t c, std::int64_t h,
+               std::int64_t w) const {
+    return data_[static_cast<std::size_t>(index4(n, c, h, w))];
+  }
+
+  std::int64_t index4(std::int64_t n, std::int64_t c, std::int64_t h,
+                      std::int64_t w) const {
+    return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  }
+
+  // 2-D (rows, cols) access.
+  T& at2(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  const T& at2(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  // Reinterpret the buffer with a new shape of identical element count.
+  TensorT reshaped(Shape new_shape) const {
+    if (new_shape.numel() != shape_.numel()) {
+      throw std::invalid_argument("reshaped: element count mismatch");
+    }
+    return TensorT(std::move(new_shape), data_);
+  }
+
+  const std::vector<T>& vec() const { return data_; }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using Tensor = TensorT<float>;
+using TensorI8 = TensorT<std::int8_t>;
+using TensorI32 = TensorT<std::int32_t>;
+using TensorU8 = TensorT<std::uint8_t>;
+
+}  // namespace odq::tensor

@@ -1,0 +1,22 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace odq::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  out_.open(path);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  bool first = true;
+  for (const auto& h : header) {
+    if (!first) out_ << ',';
+    out_ << h;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+}  // namespace odq::util

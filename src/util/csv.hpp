@@ -1,0 +1,43 @@
+// Tiny CSV writer for experiment outputs. Benches print human-readable rows
+// to stdout and optionally mirror them to CSV files for plotting.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace odq::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  // A no-op writer (used when the caller did not request CSV output).
+  CsvWriter() = default;
+
+  bool is_open() const { return out_.is_open(); }
+
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    if (!out_.is_open()) return;
+    std::ostringstream line;
+    bool first = true;
+    ((append_field(line, fields, first), first = false), ...);
+    out_ << line.str() << '\n';
+  }
+
+ private:
+  template <typename T>
+  static void append_field(std::ostringstream& line, const T& value,
+                           bool first) {
+    if (!first) line << ',';
+    line << value;
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace odq::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Usage:
+//   ODQ_LOG_INFO("trained %d epochs, loss=%.4f", epochs, loss);
+//
+// The level is controlled globally (default Info) or via the ODQ_LOG_LEVEL
+// environment variable ("trace", "debug", "info", "warn", "error", "off").
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace odq::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global minimum level. Messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses a level name ("info", "DEBUG", ...). Unknown names map to kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+// printf-style log sink (stderr). Prefer the macros below.
+void log_message(LogLevel level, const char* file, int line, const char* fmt,
+                 ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace odq::util
+
+#define ODQ_LOG_AT(lvl, ...)                                              \
+  do {                                                                    \
+    if (static_cast<int>(lvl) >=                                          \
+        static_cast<int>(::odq::util::log_level())) {                     \
+      ::odq::util::log_message(lvl, __FILE__, __LINE__, __VA_ARGS__);     \
+    }                                                                     \
+  } while (0)
+
+#define ODQ_LOG_TRACE(...) ODQ_LOG_AT(::odq::util::LogLevel::kTrace, __VA_ARGS__)
+#define ODQ_LOG_DEBUG(...) ODQ_LOG_AT(::odq::util::LogLevel::kDebug, __VA_ARGS__)
+#define ODQ_LOG_INFO(...) ODQ_LOG_AT(::odq::util::LogLevel::kInfo, __VA_ARGS__)
+#define ODQ_LOG_WARN(...) ODQ_LOG_AT(::odq::util::LogLevel::kWarn, __VA_ARGS__)
+#define ODQ_LOG_ERROR(...) ODQ_LOG_AT(::odq::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,111 @@
+// Deterministic, seedable random number generation.
+//
+// All randomness in the library flows through Rng so that experiments are
+// reproducible run-to-run. The generator is xoshiro256** (public domain,
+// Blackman & Vigna) seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace odq::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  float uniform_f(float lo, float hi) {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  int uniform_int(int lo, int hi_inclusive) {
+    return lo + static_cast<int>(uniform_u64(
+                    static_cast<std::uint64_t>(hi_inclusive - lo + 1)));
+  }
+
+  // Standard normal via Box-Muller (non-cached variant; adequate here).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  float normal_f(float mean, float stddev) {
+    return static_cast<float>(normal(mean, stddev));
+  }
+
+  // Bernoulli with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // UniformRandomBitGenerator interface so Rng works with <algorithm>.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace odq::util

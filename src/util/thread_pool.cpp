@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace odq::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ODQ_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(0);
+  }());
+  return pool;
+}
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t grain) {
+  if (n <= 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  const auto workers = static_cast<std::int64_t>(pool.size());
+  if (workers <= 1 || n <= grain) {
+    body(0, n);
+    return;
+  }
+  const std::int64_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
+  const std::int64_t step = (n + chunks - 1) / chunks;
+  for (std::int64_t begin = 0; begin < n; begin += step) {
+    const std::int64_t end = std::min(begin + step, n);
+    pool.submit([&body, begin, end] { body(begin, end); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace odq::util

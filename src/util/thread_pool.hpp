@@ -1,0 +1,59 @@
+// A small work-stealing-free thread pool plus a chunked parallel_for.
+//
+// The library is written to scale with hardware threads but remains fully
+// correct (and overhead-free on the hot path) when only one core is
+// available: with pool size 1 parallel_for runs inline on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace odq::util {
+
+class ThreadPool {
+ public:
+  // threads == 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+  // Process-wide pool, sized from ODQ_THREADS env var or hardware
+  // concurrency. Constructed on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Splits [0, n) into chunks and runs body(begin, end) on the global pool.
+// With a single worker (or tiny n) the body runs inline on the caller.
+// The body must be safe to run concurrently on disjoint ranges.
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t grain = 1024);
+
+}  // namespace odq::util

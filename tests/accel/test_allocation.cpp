@@ -1,0 +1,92 @@
+#include "accel/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace odq::accel {
+namespace {
+
+TEST(Table1, ReproducesPaperExactly) {
+  // Paper Table 1: (#predictor arrays, #executor arrays) -> max sensitive %.
+  EXPECT_EQ(static_cast<int>(max_bubble_free_sensitive_fraction(9, 18) * 100),
+            66);
+  EXPECT_EQ(static_cast<int>(max_bubble_free_sensitive_fraction(12, 15) * 100),
+            41);
+  EXPECT_EQ(static_cast<int>(max_bubble_free_sensitive_fraction(15, 12) * 100),
+            26);
+  EXPECT_EQ(static_cast<int>(max_bubble_free_sensitive_fraction(18, 9) * 100),
+            16);
+  EXPECT_EQ(static_cast<int>(max_bubble_free_sensitive_fraction(21, 6) * 100),
+            9);
+}
+
+TEST(Table1, ZeroPredictorArraysIsDegenerate) {
+  EXPECT_EQ(max_bubble_free_sensitive_fraction(0, 27), 0.0);
+}
+
+TEST(ValidAllocations, FiveConfigsSummingTo27) {
+  const auto allocs = valid_allocations();
+  ASSERT_EQ(allocs.size(), 5u);
+  for (const auto& a : allocs) {
+    EXPECT_EQ(a.predictor_arrays + a.executor_arrays, 27);
+  }
+  EXPECT_EQ(allocs.front().predictor_arrays, 9);
+  EXPECT_EQ(allocs.front().executor_arrays, 18);
+  EXPECT_EQ(allocs.back().predictor_arrays, 21);
+  EXPECT_EQ(allocs.back().executor_arrays, 6);
+}
+
+class AllocationChoice
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(AllocationChoice, PicksExpectedPredictorShare) {
+  const auto [sensitive, expected_pred] = GetParam();
+  const PeAllocation a = choose_allocation(sensitive);
+  EXPECT_EQ(a.predictor_arrays, expected_pred);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SensitivitySweep, AllocationChoice,
+    ::testing::Values(std::make_tuple(0.05, 21),   // <=9%  -> 21 pred
+                      std::make_tuple(0.09, 21),
+                      std::make_tuple(0.12, 18),   // <=16% -> 18
+                      std::make_tuple(0.15, 18),
+                      std::make_tuple(0.20, 15),   // <=26% -> 15
+                      std::make_tuple(0.26, 15),
+                      std::make_tuple(0.35, 12),   // <=41% -> 12
+                      std::make_tuple(0.41, 12),
+                      std::make_tuple(0.55, 9),    // <=66% -> 9
+                      std::make_tuple(0.66, 9),
+                      std::make_tuple(0.90, 9)));  // beyond 66%: best effort
+
+TEST(AllocationChoice, ChosenConfigIsBubbleFreeWhenPossible) {
+  for (double s = 0.01; s <= 0.66; s += 0.01) {
+    const PeAllocation a = choose_allocation(s);
+    EXPECT_GE(max_bubble_free_sensitive_fraction(a.predictor_arrays,
+                                                 a.executor_arrays),
+              s)
+        << "s=" << s;
+  }
+}
+
+TEST(AllocationChoice, PredictorShareIsMonotoneInSensitivity) {
+  int prev = 100;
+  for (double s = 0.0; s <= 1.0; s += 0.02) {
+    const PeAllocation a = choose_allocation(s);
+    EXPECT_LE(a.predictor_arrays, prev);
+    prev = a.predictor_arrays;
+  }
+}
+
+TEST(SliceConfig, GeometryMatchesPaper) {
+  SliceConfig s;
+  EXPECT_EQ(s.arrays, 27);
+  EXPECT_EQ(s.fixed_predictor + s.fixed_executor + s.reconfigurable, 27);
+  EXPECT_EQ(s.executor_clusters, 3);
+  // ODQ accelerator: 4860 PEs over 27 arrays = 180 per array.
+  EXPECT_EQ(s.pes_per_array(4860), 180);
+}
+
+}  // namespace
+}  // namespace odq::accel

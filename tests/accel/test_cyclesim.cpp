@@ -1,0 +1,267 @@
+#include "accel/cyclesim/layer_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/cyclesim/crossbar.hpp"
+#include "accel/cyclesim/dram_channel.hpp"
+#include "accel/cyclesim/line_buffer.hpp"
+#include "accel/cyclesim/pe_array.hpp"
+#include "accel/simulator.hpp"
+
+namespace odq::accel::cyclesim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DramChannel
+// ---------------------------------------------------------------------------
+
+TEST(DramChannel, DeliversAfterLatencyAndBandwidth) {
+  DramChannel dram(8.0, /*latency=*/2);
+  const auto h = dram.request(16.0);
+  EXPECT_FALSE(dram.complete(h));
+  dram.step();  // latency 1
+  dram.step();  // latency 2
+  EXPECT_FALSE(dram.complete(h));
+  dram.step();  // 8 bytes
+  EXPECT_FALSE(dram.complete(h));
+  dram.step();  // 16 bytes
+  EXPECT_TRUE(dram.complete(h));
+  EXPECT_DOUBLE_EQ(dram.total_bytes_served(), 16.0);
+}
+
+TEST(DramChannel, FifoOrdering) {
+  DramChannel dram(100.0, 0);
+  const auto a = dram.request(50.0);
+  const auto b = dram.request(50.0);
+  dram.step();
+  EXPECT_TRUE(dram.complete(a));
+  EXPECT_TRUE(dram.complete(b));
+  const auto c = dram.request(150.0);
+  dram.step();
+  EXPECT_FALSE(dram.complete(c));
+  dram.step();
+  EXPECT_TRUE(dram.complete(c));
+}
+
+TEST(DramChannel, IdleChannelCostsNothing) {
+  DramChannel dram(8.0, 0);
+  dram.step();
+  dram.step();
+  EXPECT_EQ(dram.cycles_busy(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// LineBuffer
+// ---------------------------------------------------------------------------
+
+TEST(LineBuffer, RefillsThroughDram) {
+  DramChannel dram(1e9, 0);
+  LineBuffer lb(8, 4.0);
+  EXPECT_TRUE(lb.empty());
+  lb.refill(dram);
+  dram.step();
+  lb.step(dram);
+  EXPECT_EQ(lb.available(), 8);
+  EXPECT_TRUE(lb.pop());
+  EXPECT_EQ(lb.available(), 7);
+}
+
+TEST(LineBuffer, UnderrunCounted) {
+  DramChannel dram(1e9, 0);
+  LineBuffer lb(4, 1.0);
+  EXPECT_FALSE(lb.pop());
+  EXPECT_EQ(lb.underruns(), 1);
+}
+
+TEST(LineBuffer, RefillOnlyBelowLowWater) {
+  DramChannel dram(1e9, 0);
+  LineBuffer lb(8, 1.0);
+  lb.refill(dram);
+  dram.step();
+  lb.step(dram);
+  ASSERT_EQ(lb.available(), 8);
+  // Above low water (4): no new request should be made.
+  lb.pop();
+  lb.refill(dram);
+  dram.step();
+  lb.step(dram);
+  EXPECT_EQ(lb.available(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// PeArray
+// ---------------------------------------------------------------------------
+
+TEST(PeArray, PredictorThroughput) {
+  DramChannel dram(1e9, 0);
+  LineBuffer lb(64, 1.0);
+  lb.refill(dram);
+  dram.step();
+  lb.step(dram);
+
+  PeArray arr(180, ArrayRole::kPredictor);
+  ASSERT_TRUE(arr.issue(360, lb));  // 360 MACs on 180 PEs -> 2 cycles
+  EXPECT_TRUE(arr.busy());
+  EXPECT_FALSE(arr.step());
+  EXPECT_TRUE(arr.step());
+  EXPECT_FALSE(arr.busy());
+  EXPECT_EQ(arr.outputs_done(), 1);
+  EXPECT_EQ(arr.busy_cycles(), 2);
+}
+
+TEST(PeArray, ExecutorTakesThreeCyclesPerMac) {
+  DramChannel dram(1e9, 0);
+  LineBuffer lb(64, 1.0);
+  lb.refill(dram);
+  dram.step();
+  lb.step(dram);
+
+  PeArray arr(180, ArrayRole::kExecutor);
+  ASSERT_TRUE(arr.issue(180, lb));  // 3*180 cycles of work / 180 PEs -> 3
+  EXPECT_FALSE(arr.step());
+  EXPECT_FALSE(arr.step());
+  EXPECT_TRUE(arr.step());
+}
+
+TEST(PeArray, StallsOnEmptyLineBuffer) {
+  DramChannel dram(1e9, 0);
+  LineBuffer lb(8, 1.0);  // empty
+  PeArray arr(180, ArrayRole::kPredictor);
+  EXPECT_FALSE(arr.issue(100, lb));
+  EXPECT_FALSE(arr.busy());
+  arr.step();
+  EXPECT_EQ(arr.idle_cycles(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Crossbar
+// ---------------------------------------------------------------------------
+
+TEST(CrossbarTest, WinnerIsLargestChannel) {
+  Crossbar xb(3);
+  xb.enqueue(0, 2);
+  xb.enqueue(1, 5);
+  xb.enqueue(2, 1);
+  EXPECT_EQ(xb.pop_winner(), 1);
+  EXPECT_EQ(xb.pending(1), 4);
+  EXPECT_EQ(xb.pending_total(), 7);
+}
+
+TEST(CrossbarTest, PopNTakesFromOneChannel) {
+  Crossbar xb(2);
+  xb.enqueue(0, 3);
+  xb.enqueue(1, 10);
+  std::int64_t ch = -1;
+  EXPECT_EQ(xb.pop_winner_n(4, &ch), 4);
+  EXPECT_EQ(ch, 1);
+  EXPECT_EQ(xb.pending(1), 6);
+}
+
+TEST(CrossbarTest, EmptyPopsReturnNothing) {
+  Crossbar xb(2);
+  EXPECT_EQ(xb.pop_winner(), -1);
+  std::int64_t ch = 7;
+  EXPECT_EQ(xb.pop_winner_n(3, &ch), 0);
+  EXPECT_EQ(ch, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Layer engine
+// ---------------------------------------------------------------------------
+
+ConvWorkload layer(double sens, std::int64_t channels = 16,
+                   std::int64_t hw = 32 * 32,
+                   std::int64_t macs_per_out = 16 * 9) {
+  ConvWorkload wl;
+  wl.name = "conv";
+  wl.out_channels = channels;
+  wl.out_elems = channels * hw;
+  wl.macs_per_out = macs_per_out;
+  wl.total_macs = wl.out_elems * macs_per_out;
+  wl.input_elems = channels * hw;
+  wl.weight_elems = channels * macs_per_out;
+  wl.odq_sensitive_fraction = sens;
+  wl.sensitive_per_channel.assign(
+      static_cast<std::size_t>(channels),
+      static_cast<std::int64_t>(sens * static_cast<double>(hw)));
+  return wl;
+}
+
+TEST(LayerEngine, CompletesAndConserves) {
+  const ConvWorkload wl = layer(0.25);
+  const CycleSimResult r = simulate_layer(wl, {});
+  EXPECT_FALSE(r.hit_cycle_limit);
+  EXPECT_EQ(r.outputs_predicted, wl.out_elems);
+  // Every sensitive output executed exactly once.
+  std::int64_t sens_total = 0;
+  for (std::int64_t c : wl.sensitive_per_channel) sens_total += c;
+  EXPECT_EQ(r.outputs_executed, sens_total);
+  // Busy+idle per side equals arrays * cycles.
+  EXPECT_EQ(r.predictor_busy + r.predictor_idle,
+            r.cycles * r.allocation.predictor_arrays);
+  EXPECT_EQ(r.executor_busy + r.executor_idle,
+            r.cycles * r.allocation.executor_arrays);
+}
+
+TEST(LayerEngine, MoreSensitiveMeansMoreCycles) {
+  const CycleSimResult lo = simulate_layer(layer(0.1), {});
+  const CycleSimResult hi = simulate_layer(layer(0.6), {});
+  EXPECT_LT(lo.cycles, hi.cycles);
+  EXPECT_LT(lo.outputs_executed, hi.outputs_executed);
+}
+
+TEST(LayerEngine, DynamicAllocationAdaptsToSensitivity) {
+  CycleSimConfig cfg;
+  const CycleSimResult lo = simulate_layer(layer(0.05), cfg);
+  const CycleSimResult hi = simulate_layer(layer(0.6), cfg);
+  EXPECT_GT(lo.allocation.predictor_arrays, hi.allocation.predictor_arrays);
+}
+
+TEST(LayerEngine, AgreesWithAnalyticModelWithinQueueing) {
+  // The cycle-stepped engine should land within ~2x of the analytic
+  // steady-state model (it adds pipeline fill, line-buffer latency and
+  // arbitration effects; it can never beat the busy-time bound).
+  for (double s : {0.1, 0.25, 0.5}) {
+    const ConvWorkload wl = layer(s);
+    const CycleSimResult micro = simulate_layer(wl, {});
+    const SimResult analytic = simulate(odq_accelerator(), {wl});
+    EXPECT_GT(micro.cycles, 0.5 * analytic.total_cycles) << "s=" << s;
+    EXPECT_LT(static_cast<double>(micro.cycles), 3.0 * analytic.total_cycles)
+        << "s=" << s;
+  }
+}
+
+TEST(LayerEngine, TinyBandwidthStallsArrays) {
+  CycleSimConfig starved;
+  starved.dram_bytes_per_cycle = 0.5;
+  const ConvWorkload wl = layer(0.25, 4, 64, 16);
+  const CycleSimResult fast = simulate_layer(wl, {});
+  const CycleSimResult slow = simulate_layer(wl, starved);
+  EXPECT_GT(slow.cycles, fast.cycles);
+}
+
+TEST(LayerEngine, NetworkSumsLayers) {
+  const std::vector<ConvWorkload> wls{layer(0.2), layer(0.4)};
+  const CycleSimResult a = simulate_layer(wls[0], {});
+  const CycleSimResult b = simulate_layer(wls[1], {});
+  const CycleSimResult net = simulate_network(wls, {});
+  EXPECT_EQ(net.cycles, a.cycles + b.cycles);
+  EXPECT_EQ(net.outputs_predicted, a.outputs_predicted + b.outputs_predicted);
+}
+
+TEST(LayerEngine, ZeroSensitivityNeverRunsExecutor) {
+  const CycleSimResult r = simulate_layer(layer(0.0), {});
+  EXPECT_EQ(r.outputs_executed, 0);
+  EXPECT_EQ(r.executor_busy, 0);
+}
+
+TEST(LayerEngine, IdleFractionInUnitRange) {
+  for (double s : {0.0, 0.2, 0.5, 0.9}) {
+    const CycleSimResult r = simulate_layer(layer(s), {});
+    EXPECT_GE(r.idle_fraction(), 0.0);
+    EXPECT_LE(r.idle_fraction(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace odq::accel::cyclesim

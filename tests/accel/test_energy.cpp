@@ -1,0 +1,104 @@
+// Energy model unit tests: the parametric costs behind Figure 21.
+#include <gtest/gtest.h>
+
+#include "accel/energy.hpp"
+#include "accel/simulator.hpp"
+
+namespace odq::accel {
+namespace {
+
+TEST(EnergyParams, MacEnergyQuadraticInWidth) {
+  EnergyParams e;
+  EXPECT_DOUBLE_EQ(e.mac_pj(16), 4.0 * e.mac_pj(8));
+  EXPECT_DOUBLE_EQ(e.mac_pj(8), 4.0 * e.mac_pj(4));
+  EXPECT_DOUBLE_EQ(e.mac_pj(4), 4.0 * e.mac_pj(2));
+}
+
+TEST(EnergyParams, MemoryHierarchyOrdering) {
+  // DRAM per byte >> SRAM per byte >> a low-width MAC.
+  EnergyParams e;
+  EXPECT_GT(e.dram_pj_per_byte, 10.0 * e.sram_pj_per_byte);
+  EXPECT_GT(e.sram_pj_per_byte, e.mac_pj(2));
+}
+
+TEST(EnergyBreakdown, AccumulatesComponentwise) {
+  EnergyBreakdown a{1.0, 2.0, 3.0};
+  EnergyBreakdown b{10.0, 20.0, 30.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.dram_pj, 11.0);
+  EXPECT_DOUBLE_EQ(a.buffer_pj, 22.0);
+  EXPECT_DOUBLE_EQ(a.core_pj, 33.0);
+  EXPECT_DOUBLE_EQ(a.total_pj(), 66.0);
+}
+
+ConvWorkload simple_workload() {
+  ConvWorkload wl;
+  wl.name = "conv";
+  wl.out_channels = 8;
+  wl.out_elems = 8 * 16 * 16;
+  wl.macs_per_out = 8 * 9;
+  wl.total_macs = wl.out_elems * wl.macs_per_out;
+  wl.input_elems = 8 * 16 * 16;
+  wl.weight_elems = 8 * 8 * 9;
+  wl.odq_sensitive_fraction = 0.25;
+  wl.drq_sensitive_input_fraction = 0.5;
+  wl.sensitive_per_channel.assign(8, wl.out_elems / 32);
+  return wl;
+}
+
+TEST(EnergyModel, StaticTermScalesWithCycles) {
+  // Doubling the work should raise the cycle-proportional (static) energy.
+  const std::vector<ConvWorkload> one{simple_workload()};
+  std::vector<ConvWorkload> two{simple_workload(), simple_workload()};
+  const auto r1 = simulate(odq_accelerator(), one);
+  const auto r2 = simulate(odq_accelerator(), two);
+  EXPECT_NEAR(r2.energy.total_pj(), 2.0 * r1.energy.total_pj(),
+              1e-6 * r2.energy.total_pj());
+  EXPECT_NEAR(r2.total_cycles, 2.0 * r1.total_cycles, 1e-9 * r2.total_cycles);
+}
+
+TEST(EnergyModel, HigherMacBaseRaisesCoreOnly) {
+  const std::vector<ConvWorkload> wls{simple_workload()};
+  SimOptions base;
+  SimOptions hot;
+  hot.energy.mac_base_pj = base.energy.mac_base_pj * 10.0;
+  const auto rb = simulate(int8_accelerator(), wls, base);
+  const auto rh = simulate(int8_accelerator(), wls, hot);
+  EXPECT_GT(rh.energy.core_pj, rb.energy.core_pj);
+  EXPECT_DOUBLE_EQ(rh.energy.dram_pj, rb.energy.dram_pj);
+  EXPECT_DOUBLE_EQ(rh.energy.buffer_pj, rb.energy.buffer_pj);
+}
+
+TEST(EnergyModel, DramEnergyTracksTraffic) {
+  // A workload whose feature maps exceed the on-chip buffer must pay DRAM
+  // energy for them; a small one only streams weights.
+  ConvWorkload small = simple_workload();
+  ConvWorkload big = simple_workload();
+  big.input_elems = 1'000'000;
+  big.out_elems = 1'000'000;
+  big.total_macs = big.out_elems * big.macs_per_out;
+  big.sensitive_per_channel.assign(8, big.out_elems / 32);
+  const auto rs = simulate(int8_accelerator(), {small});
+  const auto rb = simulate(int8_accelerator(), {big});
+  // Per-MAC DRAM energy is higher for the spilling workload.
+  const double per_mac_small =
+      rs.energy.dram_pj / static_cast<double>(small.total_macs);
+  const double per_mac_big =
+      rb.energy.dram_pj / static_cast<double>(big.total_macs);
+  EXPECT_GT(per_mac_big, per_mac_small);
+}
+
+TEST(EnergyModel, OdqCoreEnergyScalesWithSensitiveFraction) {
+  ConvWorkload lo = simple_workload();
+  lo.odq_sensitive_fraction = 0.1;
+  lo.sensitive_per_channel.assign(8, lo.out_elems / 80);
+  ConvWorkload hi = simple_workload();
+  hi.odq_sensitive_fraction = 0.6;
+  hi.sensitive_per_channel.assign(8, hi.out_elems * 6 / 80);
+  const auto rl = simulate(odq_accelerator(), {lo});
+  const auto rh = simulate(odq_accelerator(), {hi});
+  EXPECT_GT(rh.energy.core_pj, rl.energy.core_pj);
+}
+
+}  // namespace
+}  // namespace odq::accel

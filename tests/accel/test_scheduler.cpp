@@ -1,0 +1,130 @@
+#include "accel/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace odq::accel {
+namespace {
+
+std::vector<std::int64_t> random_work(std::size_t n, std::uint64_t seed,
+                                      std::int64_t hi) {
+  util::Rng rng(seed);
+  std::vector<std::int64_t> w(n);
+  for (auto& x : w) x = rng.uniform_int(0, static_cast<int>(hi));
+  return w;
+}
+
+std::int64_t total(const std::vector<std::int64_t>& w) {
+  return std::accumulate(w.begin(), w.end(), static_cast<std::int64_t>(0));
+}
+
+TEST(Scheduler, ConservationOfWork) {
+  const auto work = random_work(16, 1, 100);
+  for (int arrays : {1, 2, 3, 6, 9}) {
+    for (const auto& r :
+         {schedule_static(work, arrays), schedule_dynamic(work, arrays)}) {
+      // busy + idle == arrays * makespan.
+      std::int64_t busy = total(r.array_busy);
+      EXPECT_EQ(busy, total(work));
+      EXPECT_EQ(busy + r.idle_cycles, r.makespan * arrays);
+    }
+  }
+}
+
+TEST(Scheduler, DynamicNeverSlowerThanStatic) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto work = random_work(12, seed, 200);
+    const auto st = schedule_static(work, 4);
+    const auto dy = schedule_dynamic(work, 4);
+    EXPECT_LE(dy.makespan, st.makespan) << "seed=" << seed;
+  }
+}
+
+TEST(Scheduler, SingleArrayHasNoIdle) {
+  const auto work = random_work(8, 3, 50);
+  const auto r = schedule_dynamic(work, 1);
+  EXPECT_EQ(r.idle_cycles, 0);
+  EXPECT_EQ(r.makespan, total(work));
+}
+
+TEST(Scheduler, BalancedWorkloadHasZeroIdleUnderStatic) {
+  std::vector<std::int64_t> work(8, 25);
+  const auto r = schedule_static(work, 4);
+  EXPECT_EQ(r.makespan, 50);
+  EXPECT_EQ(r.idle_cycles, 0);
+}
+
+TEST(Scheduler, PaperFigure14And16Example) {
+  // §4.3's worked example: four OFMs with {7,4,4,4} sensitive outputs at 3
+  // cycles each -> {21,12,12,12}. Static assignment finishes at 21 cycles
+  // with arrays 1,2,3 idle 9 cycles each (Fig. 14); the dynamic scheme
+  // migrates OFM1's remaining outputs and finishes "in 15 cycles without
+  // wasting resources" (Fig. 16).
+  std::vector<std::int64_t> work{21, 12, 12, 12};
+  const auto st = schedule_static(work, 4);
+  EXPECT_EQ(st.makespan, 21);
+  EXPECT_EQ(st.idle_cycles, (21 - 12) * 3);
+  const auto dy = schedule_dynamic(work, 4, /*granularity=*/3);
+  EXPECT_EQ(dy.makespan, 15);
+  EXPECT_EQ(dy.idle_cycles, 3);  // 57 cycles of work on 4x15 array-cycles
+}
+
+TEST(Scheduler, DynamicSplittingBalancesSingleHotChannel) {
+  // A single hot channel no longer serializes on one array.
+  std::vector<std::int64_t> work{100, 0, 0, 0};
+  const auto dy = schedule_dynamic(work, 4, /*granularity=*/5);
+  EXPECT_EQ(dy.makespan, 25);
+  EXPECT_EQ(dy.idle_cycles, 0);
+}
+
+TEST(Scheduler, GranularityOneIsPerfectlyBalanced) {
+  const auto work = random_work(7, 77, 50);
+  const auto dy = schedule_dynamic(work, 3, 1);
+  std::int64_t t = total(work);
+  EXPECT_EQ(dy.makespan, (t + 2) / 3);
+}
+
+TEST(Scheduler, DynamicIdleFractionBounded) {
+  for (std::uint64_t seed = 50; seed < 60; ++seed) {
+    const auto work = random_work(32, seed, 100);
+    const auto r = schedule_dynamic(work, 4);
+    EXPECT_GE(r.idle_fraction, 0.0);
+    EXPECT_LE(r.idle_fraction, 1.0);
+  }
+}
+
+TEST(Scheduler, EmptyWorkload) {
+  const auto r = schedule_dynamic({}, 4);
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.idle_cycles, 0);
+  EXPECT_EQ(r.idle_fraction, 0.0);
+}
+
+TEST(Scheduler, SkewedWorkloadShowsStaticIdleness) {
+  // All work in one channel assigned to one array: others fully idle.
+  std::vector<std::int64_t> work{100, 0, 0, 0};
+  const auto st = schedule_static(work, 4);
+  EXPECT_EQ(st.makespan, 100);
+  EXPECT_DOUBLE_EQ(st.idle_fraction, 0.75);
+}
+
+TEST(Scheduler, DynamicLptClassicBound) {
+  // LPT is a 4/3-approximation: makespan <= 4/3 * OPT. Against the trivial
+  // lower bound max(total/arrays, max_item) this gives a checkable bound.
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const auto work = random_work(24, seed, 97);
+    const int arrays = 5;
+    const auto r = schedule_dynamic(work, arrays);
+    std::int64_t lower = std::max(
+        (total(work) + arrays - 1) / arrays,
+        *std::max_element(work.begin(), work.end()));
+    EXPECT_LE(r.makespan, (4 * lower + 2) / 3 + 1) << "seed=" << seed;
+    EXPECT_GE(r.makespan, lower);
+  }
+}
+
+}  // namespace
+}  // namespace odq::accel

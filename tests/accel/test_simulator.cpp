@@ -1,0 +1,186 @@
+#include "accel/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace odq::accel {
+namespace {
+
+ConvWorkload make_workload(double odq_sens, double drq_sens,
+                           std::int64_t out_elems = 16 * 32 * 32,
+                           std::int64_t macs_per_out = 16 * 9) {
+  ConvWorkload wl;
+  wl.name = "conv";
+  wl.out_channels = 16;
+  wl.out_elems = out_elems;
+  wl.macs_per_out = macs_per_out;
+  wl.total_macs = out_elems * macs_per_out;
+  wl.input_elems = 16 * 32 * 32;
+  wl.weight_elems = 16 * 16 * 9;
+  wl.odq_sensitive_fraction = odq_sens;
+  wl.drq_sensitive_input_fraction = drq_sens;
+  // Even per-channel distribution of sensitive outputs.
+  const std::int64_t per_ch =
+      static_cast<std::int64_t>(odq_sens * out_elems / 16);
+  wl.sensitive_per_channel.assign(16, per_ch);
+  return wl;
+}
+
+TEST(Simulator, Table2ConfigsMatchPaper) {
+  const auto configs = table2_configs();
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].num_pes, 120);
+  EXPECT_EQ(configs[1].num_pes, 1692);
+  EXPECT_EQ(configs[2].num_pes, 1692);
+  EXPECT_EQ(configs[3].num_pes, 4860);
+  for (const auto& c : configs) EXPECT_DOUBLE_EQ(c.onchip_mem_mb, 0.17);
+}
+
+TEST(Simulator, OdqFasterThanAllBaselines) {
+  // The paper's headline ordering (Fig. 19): ODQ < DRQ < INT8 < INT16.
+  const std::vector<ConvWorkload> wls{make_workload(0.25, 0.5)};
+  const double t16 = simulate(int16_accelerator(), wls).total_cycles;
+  const double t8 = simulate(int8_accelerator(), wls).total_cycles;
+  const double tdrq = simulate(drq_accelerator(), wls).total_cycles;
+  const double todq = simulate(odq_accelerator(), wls).total_cycles;
+  EXPECT_LT(todq, tdrq);
+  EXPECT_LT(tdrq, t8);
+  EXPECT_LT(t8, t16);
+}
+
+TEST(Simulator, OdqSpeedupOverDrqInPaperBallpark) {
+  // Paper: 67.6% average reduction vs DRQ. With typical fractions the model
+  // should land broadly in that regime (40-90%).
+  const std::vector<ConvWorkload> wls{make_workload(0.25, 0.5)};
+  const double tdrq = simulate(drq_accelerator(), wls).total_cycles;
+  const double todq = simulate(odq_accelerator(), wls).total_cycles;
+  const double reduction = 1.0 - todq / tdrq;
+  EXPECT_GT(reduction, 0.40);
+  EXPECT_LT(reduction, 0.95);
+}
+
+TEST(Simulator, EnergyBreakdownSumsToTotal) {
+  const std::vector<ConvWorkload> wls{make_workload(0.3, 0.5),
+                                      make_workload(0.1, 0.4)};
+  for (const auto& cfg : table2_configs()) {
+    const SimResult r = simulate(cfg, wls);
+    double layer_total = 0.0;
+    for (const auto& l : r.layers) layer_total += l.energy.total_pj();
+    EXPECT_NEAR(r.energy.total_pj(), layer_total,
+                1e-6 * std::max(1.0, layer_total));
+    EXPECT_NEAR(r.energy.total_pj(),
+                r.energy.dram_pj + r.energy.buffer_pj + r.energy.core_pj,
+                1e-9 * std::max(1.0, r.energy.total_pj()));
+  }
+}
+
+TEST(Simulator, OdqEnergyBelowBaselines) {
+  const std::vector<ConvWorkload> wls{make_workload(0.25, 0.5)};
+  const double e16 = simulate(int16_accelerator(), wls).energy.total_pj();
+  const double e8 = simulate(int8_accelerator(), wls).energy.total_pj();
+  const double edrq = simulate(drq_accelerator(), wls).energy.total_pj();
+  const double eodq = simulate(odq_accelerator(), wls).energy.total_pj();
+  EXPECT_LT(eodq, edrq);
+  EXPECT_LT(edrq, e8);
+  EXPECT_LT(e8, e16);
+}
+
+TEST(Simulator, CyclesScaleWithSensitivity) {
+  const std::vector<ConvWorkload> lo{make_workload(0.05, 0.5)};
+  const std::vector<ConvWorkload> hi{make_workload(0.6, 0.5)};
+  EXPECT_LT(simulate(odq_accelerator(), lo).total_cycles,
+            simulate(odq_accelerator(), hi).total_cycles);
+}
+
+TEST(Simulator, DynamicAllocationNeverSlowerThanStatic) {
+  for (double s : {0.05, 0.15, 0.25, 0.40, 0.60}) {
+    const std::vector<ConvWorkload> wls{make_workload(s, 0.5)};
+    SimOptions dyn;
+    dyn.dynamic_allocation = true;
+    SimOptions stat;
+    stat.dynamic_allocation = false;
+    stat.static_allocation = {12, 15};
+    const double td = simulate(odq_accelerator(), wls, dyn).total_cycles;
+    const double ts = simulate(odq_accelerator(), wls, stat).total_cycles;
+    EXPECT_LE(td, ts * 1.0001) << "s=" << s;
+  }
+}
+
+TEST(Simulator, DynamicAllocationReducesIdleness) {
+  // Mix of layers with very different sensitivity: one static split cannot
+  // fit all of them (Fig. 11 vs Fig. 20).
+  const std::vector<ConvWorkload> wls{
+      make_workload(0.08, 0.5), make_workload(0.30, 0.5),
+      make_workload(0.55, 0.5), make_workload(0.12, 0.5)};
+  SimOptions dyn;
+  SimOptions stat;
+  stat.dynamic_allocation = false;
+  stat.static_allocation = {15, 12};
+  const SimResult rd = simulate(odq_accelerator(), wls, dyn);
+  const SimResult rs = simulate(odq_accelerator(), wls, stat);
+  EXPECT_LT(rd.idle_pe_fraction, rs.idle_pe_fraction);
+}
+
+TEST(Simulator, IdleFractionsInUnitRange) {
+  const std::vector<ConvWorkload> wls{make_workload(0.2, 0.5),
+                                      make_workload(0.5, 0.3)};
+  for (const auto& cfg : table2_configs()) {
+    const SimResult r = simulate(cfg, wls);
+    EXPECT_GE(r.idle_pe_fraction, 0.0);
+    EXPECT_LE(r.idle_pe_fraction, 1.0);
+    for (const auto& l : r.layers) {
+      EXPECT_GE(l.idle_pe_fraction, -1e-9);
+      EXPECT_LE(l.idle_pe_fraction, 1.0);
+    }
+  }
+}
+
+TEST(Simulator, LayerResultsCoverAllWorkloads) {
+  const std::vector<ConvWorkload> wls{make_workload(0.2, 0.5),
+                                      make_workload(0.4, 0.4),
+                                      make_workload(0.1, 0.6)};
+  const SimResult r = simulate(odq_accelerator(), wls);
+  ASSERT_EQ(r.layers.size(), 3u);
+  double sum = 0.0;
+  for (const auto& l : r.layers) sum += l.cycles;
+  EXPECT_NEAR(r.total_cycles, sum, 1e-9 * sum);
+}
+
+TEST(Simulator, OdqAllocationRecordedPerLayer) {
+  const std::vector<ConvWorkload> wls{make_workload(0.1, 0.5),
+                                      make_workload(0.6, 0.5)};
+  const SimResult r = simulate(odq_accelerator(), wls);
+  // Low-sensitivity layer gets a predictor-heavy split; high-sensitivity
+  // layer an executor-heavy one.
+  EXPECT_GT(r.layers[0].allocation.predictor_arrays,
+            r.layers[1].allocation.predictor_arrays);
+}
+
+TEST(Simulator, DrqCostGrowsWithInputSensitivity) {
+  const std::vector<ConvWorkload> lo{make_workload(0.25, 0.1)};
+  const std::vector<ConvWorkload> hi{make_workload(0.25, 0.9)};
+  EXPECT_LT(simulate(drq_accelerator(), lo).total_cycles,
+            simulate(drq_accelerator(), hi).total_cycles);
+  EXPECT_LT(simulate(drq_accelerator(), lo).energy.total_pj(),
+            simulate(drq_accelerator(), hi).energy.total_pj());
+}
+
+TEST(Simulator, EmptyWorkloadListYieldsZero) {
+  const SimResult r = simulate(odq_accelerator(), {});
+  EXPECT_EQ(r.total_cycles, 0.0);
+  EXPECT_EQ(r.energy.total_pj(), 0.0);
+}
+
+TEST(Simulator, Int16ReductionMatchesPaperShape) {
+  // Paper: ODQ ~97.8% faster than INT16 DoReFa. Accept the 90-99.5% band.
+  const std::vector<ConvWorkload> wls{make_workload(0.25, 0.5)};
+  const double t16 = simulate(int16_accelerator(), wls).total_cycles;
+  const double todq = simulate(odq_accelerator(), wls).total_cycles;
+  const double reduction = 1.0 - todq / t16;
+  EXPECT_GT(reduction, 0.90);
+  EXPECT_LT(reduction, 0.995);
+}
+
+}  // namespace
+}  // namespace odq::accel

@@ -1,0 +1,95 @@
+#include "accel/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/simulator.hpp"
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "util/rng.hpp"
+
+namespace odq::accel {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_image(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(0, 1);
+  return t;
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = nn::make_resnet(8, 10, 4);
+    nn::kaiming_init(model_, 1);
+    core::OdqConfig odq_cfg;
+    odq_cfg.threshold = 0.3f;
+    drq::DrqConfig drq_cfg;
+    drq_cfg.input_threshold = 0.3f;
+    workloads_ = extract_workloads(model_, random_image(Shape{2, 3, 16, 16}, 2),
+                                   odq_cfg, drq_cfg);
+  }
+
+  nn::Model model_ = nn::Model("empty");
+  std::vector<ConvWorkload> workloads_;
+};
+
+TEST_F(WorkloadTest, OneWorkloadPerConv) {
+  EXPECT_EQ(workloads_.size(), model_.convs().size());
+}
+
+TEST_F(WorkloadTest, GeometryConsistent) {
+  for (const auto& wl : workloads_) {
+    EXPECT_GT(wl.out_elems, 0);
+    EXPECT_GT(wl.macs_per_out, 0);
+    EXPECT_EQ(wl.total_macs, wl.out_elems * wl.macs_per_out);
+    EXPECT_GT(wl.input_elems, 0);
+    EXPECT_GT(wl.weight_elems, 0);
+  }
+}
+
+TEST_F(WorkloadTest, FractionsInUnitRange) {
+  for (const auto& wl : workloads_) {
+    EXPECT_GE(wl.odq_sensitive_fraction, 0.0);
+    EXPECT_LE(wl.odq_sensitive_fraction, 1.0);
+    EXPECT_GE(wl.drq_sensitive_input_fraction, 0.0);
+    EXPECT_LE(wl.drq_sensitive_input_fraction, 1.0);
+  }
+}
+
+TEST_F(WorkloadTest, PerChannelCountsMatchChannelCount) {
+  for (const auto& wl : workloads_) {
+    EXPECT_EQ(static_cast<std::int64_t>(wl.sensitive_per_channel.size()),
+              wl.out_channels);
+  }
+}
+
+TEST_F(WorkloadTest, StemLayerGeometryExact) {
+  // Stem: 3->4 channels, 3x3, stride 1, pad 1 on 16x16 input.
+  const auto& stem = workloads_.front();
+  EXPECT_EQ(stem.out_channels, 4);
+  EXPECT_EQ(stem.out_elems, 4 * 16 * 16);
+  EXPECT_EQ(stem.macs_per_out, 3 * 3 * 3);
+  EXPECT_EQ(stem.weight_elems, 4 * 3 * 3 * 3);
+}
+
+TEST_F(WorkloadTest, ExecutorsRestoredAfterExtraction) {
+  for (nn::Conv2d* c : model_.convs()) {
+    EXPECT_EQ(c->executor(), nullptr);
+  }
+}
+
+TEST_F(WorkloadTest, FeedsSimulatorEndToEnd) {
+  for (const auto& cfg : table2_configs()) {
+    const SimResult r = simulate(cfg, workloads_);
+    EXPECT_GT(r.total_cycles, 0.0);
+    EXPECT_GT(r.energy.total_pj(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace odq::accel

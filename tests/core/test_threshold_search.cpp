@@ -1,0 +1,105 @@
+#include "core/threshold_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace odq::core {
+namespace {
+
+struct Fixture {
+  data::TrainTest data;
+  nn::Model model;
+
+  Fixture()
+      : data([] {
+          data::SyntheticConfig cfg;
+          cfg.num_classes = 4;
+          cfg.height = 16;
+          cfg.width = 16;
+          cfg.noise = 0.03f;
+          return data::make_synthetic_images(cfg, 64, 32);
+        }()),
+        model(nn::make_resnet(8, 4, 4)) {
+    nn::kaiming_init(model, 5);
+    nn::TrainConfig tc;
+    tc.epochs = 5;
+    tc.batch_size = 16;
+    tc.lr = 0.05f;
+    nn::SgdTrainer trainer(tc);
+    trainer.train(model, data.train.images, data.train.labels);
+  }
+};
+
+TEST(ThresholdCalibration, PercentileOrdering) {
+  Fixture f;
+  OdqConfig cfg;
+  const float t50 = calibrate_initial_threshold(
+      f.model, f.data.test.images, cfg, 0.5);
+  const float t95 = calibrate_initial_threshold(
+      f.model, f.data.test.images, cfg, 0.95);
+  EXPECT_GT(t95, t50);
+  EXPECT_GT(t50, 0.0f);
+}
+
+TEST(ThresholdSearch, ConvergesAndRespectsTolerance) {
+  Fixture f;
+  const double ref =
+      nn::evaluate_accuracy(f.model, f.data.test.images, f.data.test.labels);
+
+  ThresholdSearchConfig scfg;
+  scfg.accuracy_tolerance = 0.10;
+  scfg.max_iterations = 6;
+  scfg.finetune_epochs = 0;  // keep the test fast and the model untouched
+  scfg.calibration_inputs = 16;
+
+  OdqConfig base;
+  ThresholdSearchResult res = search_threshold(
+      f.model, f.data.train, f.data.test, ref, base, scfg);
+
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_EQ(res.iterations, static_cast<int>(res.trace.size()));
+  if (res.converged) {
+    EXPECT_GE(res.accuracy, ref - scfg.accuracy_tolerance - 1e-9);
+  }
+  // Thresholds halve monotonically along the trace.
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_FLOAT_EQ(res.trace[i].threshold,
+                    res.trace[i - 1].threshold * 0.5f);
+  }
+  EXPECT_GT(res.threshold, 0.0f);
+}
+
+TEST(ThresholdSearch, TraceRecordsSensitiveFractionInRange) {
+  Fixture f;
+  ThresholdSearchConfig scfg;
+  scfg.accuracy_tolerance = 1.0;  // converge immediately
+  scfg.finetune_epochs = 0;
+  OdqConfig base;
+  ThresholdSearchResult res =
+      search_threshold(f.model, f.data.train, f.data.test, 0.0, base, scfg);
+  ASSERT_EQ(res.trace.size(), 1u);
+  EXPECT_GE(res.trace[0].sensitive_fraction, 0.0);
+  EXPECT_LE(res.trace[0].sensitive_fraction, 1.0);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(ThresholdSearch, NonConvergentFallsBackToBestAccuracy) {
+  Fixture f;
+  ThresholdSearchConfig scfg;
+  scfg.accuracy_tolerance = -1.0;  // impossible: acc must exceed ref + 1
+  scfg.max_iterations = 3;
+  scfg.finetune_epochs = 0;
+  OdqConfig base;
+  ThresholdSearchResult res =
+      search_threshold(f.model, f.data.train, f.data.test, 2.0, base, scfg);
+  EXPECT_FALSE(res.converged);
+  for (const auto& pt : res.trace) {
+    EXPECT_LE(pt.accuracy, res.accuracy + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace odq::core

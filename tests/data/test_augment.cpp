@@ -1,0 +1,117 @@
+#include "data/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace odq::data {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor ramp_batch(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  Tensor t(Shape{n, c, h, w});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(i % 97) / 97.0f;
+  }
+  return t;
+}
+
+TEST(Augment, FlipOnlyReversesRows) {
+  Tensor batch = ramp_batch(1, 1, 2, 4);
+  Tensor orig = batch;
+  AugmentConfig cfg;
+  cfg.horizontal_flip = true;
+  cfg.crop_pad = 0;
+  // Find a seed that flips (bernoulli(0.5) true).
+  util::Rng rng(1);
+  while (true) {
+    util::Rng probe = rng;
+    if (probe.bernoulli(0.5)) break;
+    rng.next_u64();
+  }
+  augment_batch(batch, cfg, rng);
+  for (std::int64_t y = 0; y < 2; ++y) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      EXPECT_EQ(batch.at4(0, 0, y, x), orig.at4(0, 0, y, 3 - x));
+    }
+  }
+}
+
+TEST(Augment, NoOpConfigLeavesBatchUntouched) {
+  Tensor batch = ramp_batch(2, 3, 8, 8);
+  Tensor orig = batch;
+  AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.crop_pad = 0;
+  util::Rng rng(2);
+  augment_batch(batch, cfg, rng);
+  EXPECT_EQ(tensor::max_abs_diff(batch, orig), 0.0f);
+}
+
+TEST(Augment, CropShiftPreservesInteriorValues) {
+  // Every non-zero value in the augmented image must exist in the original
+  // (shifting never invents data).
+  Tensor batch = ramp_batch(1, 1, 8, 8);
+  Tensor orig = batch;
+  AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.crop_pad = 2;
+  util::Rng rng(3);
+  augment_batch(batch, cfg, rng);
+  for (std::int64_t i = 0; i < batch.numel(); ++i) {
+    if (batch[i] == 0.0f) continue;
+    bool found = false;
+    for (std::int64_t j = 0; j < orig.numel() && !found; ++j) {
+      found = orig[j] == batch[i];
+    }
+    EXPECT_TRUE(found) << "value " << batch[i] << " not in original";
+  }
+}
+
+TEST(Augment, DeterministicGivenRngState) {
+  Tensor a = ramp_batch(4, 3, 8, 8);
+  Tensor b = a;
+  AugmentConfig cfg;
+  util::Rng r1(7), r2(7);
+  augment_batch(a, cfg, r1);
+  augment_batch(b, cfg, r2);
+  EXPECT_EQ(tensor::max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Augment, DifferentSeedsProduceDifferentBatches) {
+  Tensor a = ramp_batch(8, 3, 8, 8);
+  Tensor b = a;
+  AugmentConfig cfg;
+  util::Rng r1(1), r2(2);
+  augment_batch(a, cfg, r1);
+  augment_batch(b, cfg, r2);
+  EXPECT_GT(tensor::max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Augment, BatchImagesAugmentedIndependently) {
+  // With many images and flips enabled, not every image gets the same
+  // treatment.
+  Tensor batch = ramp_batch(16, 1, 4, 4);
+  Tensor orig = batch;
+  AugmentConfig cfg;
+  cfg.crop_pad = 0;
+  util::Rng rng(11);
+  augment_batch(batch, cfg, rng);
+  int changed = 0;
+  const std::int64_t chw = 16;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    float diff = 0.0f;
+    for (std::int64_t j = 0; j < chw; ++j) {
+      diff += std::abs(batch[i * chw + j] - orig[i * chw + j]);
+    }
+    if (diff > 0.0f) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+  EXPECT_LT(changed, 16);
+}
+
+}  // namespace
+}  // namespace odq::data

@@ -1,0 +1,108 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tensor/ops.hpp"
+
+namespace odq::data {
+namespace {
+
+TEST(Synthetic, ShapesAndCounts) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 10;
+  auto tt = make_synthetic_images(cfg, 50, 20);
+  EXPECT_EQ(tt.train.size(), 50);
+  EXPECT_EQ(tt.test.size(), 20);
+  EXPECT_EQ(tt.train.images.shape(), tensor::Shape({50, 3, 32, 32}));
+  EXPECT_EQ(tt.train.labels.size(), 50u);
+  EXPECT_EQ(tt.train.num_classes, 10);
+}
+
+TEST(Synthetic, PixelsInUnitRange) {
+  SyntheticConfig cfg;
+  auto tt = make_synthetic_images(cfg, 10, 4);
+  for (std::int64_t i = 0; i < tt.train.images.numel(); ++i) {
+    EXPECT_GE(tt.train.images[i], 0.0f);
+    EXPECT_LE(tt.train.images[i], 1.0f);
+  }
+}
+
+TEST(Synthetic, LabelsCoverAllClasses) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 5;
+  auto tt = make_synthetic_images(cfg, 25, 10);
+  std::set<int> seen(tt.train.labels.begin(), tt.train.labels.end());
+  EXPECT_EQ(seen.size(), 5u);
+  for (int label : tt.train.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+  }
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.seed = 77;
+  auto a = make_synthetic_images(cfg, 8, 4);
+  auto b = make_synthetic_images(cfg, 8, 4);
+  EXPECT_EQ(tensor::max_abs_diff(a.train.images, b.train.images), 0.0f);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig a_cfg, b_cfg;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  auto a = make_synthetic_images(a_cfg, 8, 4);
+  auto b = make_synthetic_images(b_cfg, 8, 4);
+  EXPECT_GT(tensor::max_abs_diff(a.train.images, b.train.images), 0.0f);
+}
+
+TEST(Synthetic, SameClassSamplesAreCorrelatedAcrossSplits) {
+  // Train and test come from the same class-conditional process: two images
+  // of class k should be closer on average than images of different classes.
+  SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.noise = 0.02f;
+  cfg.phase_jitter = 0.05f;  // keep same-class samples tightly clustered
+  auto tt = make_synthetic_images(cfg, 40, 40);
+  const std::int64_t chw = 3 * 32 * 32;
+
+  auto dist = [&](const Dataset& x, std::int64_t i, const Dataset& y,
+                  std::int64_t j) {
+    double acc = 0.0;
+    for (std::int64_t p = 0; p < chw; ++p) {
+      const double d = x.images[i * chw + p] - y.images[j * chw + p];
+      acc += d * d;
+    }
+    return acc;
+  };
+  // train[0] is class 0; test[0] class 0; test[1] class 1.
+  const double same = dist(tt.train, 0, tt.test, 0);
+  const double diff = dist(tt.train, 0, tt.test, 1);
+  EXPECT_LT(same, diff);
+}
+
+TEST(Synthetic, DigitsAreGrayscale28x28) {
+  auto tt = make_synthetic_digits(12, 6);
+  EXPECT_EQ(tt.train.images.shape(), tensor::Shape({12, 1, 28, 28}));
+  EXPECT_EQ(tt.train.num_classes, 10);
+}
+
+TEST(Synthetic, ImagesHaveVariance) {
+  SyntheticConfig cfg;
+  auto tt = make_synthetic_images(cfg, 4, 2);
+  double mean = 0.0, var = 0.0;
+  const std::int64_t n = tt.train.images.numel();
+  for (std::int64_t i = 0; i < n; ++i) mean += tt.train.images[i];
+  mean /= n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = tt.train.images[i] - mean;
+    var += d * d;
+  }
+  EXPECT_GT(var / n, 0.005);
+}
+
+}  // namespace
+}  // namespace odq::data

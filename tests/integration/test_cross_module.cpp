@@ -1,0 +1,152 @@
+// Cross-module property sweeps that tie the stack together: quantized conv
+// paths vs the float reference across geometries, executor thread safety,
+// and workload -> both simulators consistency.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <tuple>
+
+#include "accel/cyclesim/layer_engine.hpp"
+#include "accel/simulator.hpp"
+#include "core/odq.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace odq {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_acts(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(0, 1);
+  return t;
+}
+
+Tensor random_weights(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal_f(0, 0.3f);
+  return t;
+}
+
+// The dequantization error of the full ODQ path (threshold 0) against the
+// FP32 conv is bounded by accumulated rounding: each operand rounds by at
+// most scale/2, so per MAC the product error is bounded and the sum scales
+// with the receptive field.
+using Geom = std::tuple<int, int, int, int>;  // C,O,H,K
+
+class QuantErrorSweep : public ::testing::TestWithParam<Geom> {};
+
+TEST_P(QuantErrorSweep, OdqAtZeroThresholdTracksFp32) {
+  const auto [c, o, h, k] = GetParam();
+  Tensor x = random_acts(Shape{1, c, h, h}, 1000 + c);
+  Tensor w = random_weights(Shape{o, c, k, k}, 2000 + o);
+  Tensor bias;
+  Tensor ref = tensor::conv2d_direct(x, w, bias, 1, 1);
+
+  core::OdqConfig cfg;
+  cfg.threshold = 0.0f;
+  Tensor out = core::odq_conv_float(x, w, bias, 1, 1, cfg);
+
+  // Loose analytic bound: macs * (sa*|w|max + sw*|x|max) per output.
+  quant::QTensor qx = quant::quantize_activations(x, 4);
+  quant::QTensor qw = quant::quantize_weights(w, 4);
+  float wmax = 0.0f, xmax = 0.0f;
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    wmax = std::max(wmax, std::abs(w[i]));
+  }
+  for (std::int64_t i = 0; i < x.numel(); ++i) xmax = std::max(xmax, x[i]);
+  const float per_mac = 0.5f * (qx.scale * wmax + qw.scale * xmax) +
+                        0.25f * qx.scale * qw.scale;
+  const float bound = static_cast<float>(c * k * k) * per_mac * 1.5f;
+  EXPECT_LT(tensor::max_abs_diff(ref, out), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, QuantErrorSweep,
+                         ::testing::Values(Geom{1, 2, 6, 3}, Geom{3, 4, 8, 3},
+                                           Geom{4, 2, 5, 1}, Geom{2, 3, 9, 5},
+                                           Geom{8, 8, 6, 3}));
+
+TEST(ExecutorThreadSafety, ConcurrentRunsAccumulateAllStats) {
+  // Stats accumulation is mutex-guarded; concurrent conv calls must neither
+  // race nor lose updates.
+  core::OdqConfig cfg;
+  cfg.threshold = 0.1f;
+  core::OdqConvExecutor exec(cfg);
+  Tensor x = random_acts(Shape{1, 2, 8, 8}, 1);
+  Tensor w = random_weights(Shape{2, 2, 3, 3}, 2);
+  Tensor bias;
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&exec, &x, &w, &bias, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        (void)exec.run(x, w, bias, 1, 1, /*conv_id=*/t % 2);
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+
+  std::int64_t calls = 0;
+  for (std::size_t i = 0; i < exec.num_layers_seen(); ++i) {
+    calls += exec.layer_stats(static_cast<int>(i)).calls;
+  }
+  EXPECT_EQ(calls, kThreads * kCallsPerThread);
+}
+
+TEST(SimulatorConsistency, BothModelsOrderAcceleratorsTheSameWay) {
+  // The analytic model and the cycle-stepped engine must agree on ordering
+  // (more sensitivity -> more cycles) even if absolute values differ.
+  auto layer = [](double sens) {
+    accel::ConvWorkload wl;
+    wl.name = "conv";
+    wl.out_channels = 8;
+    wl.out_elems = 8 * 16 * 16;
+    wl.macs_per_out = 8 * 9;
+    wl.total_macs = wl.out_elems * wl.macs_per_out;
+    wl.input_elems = 8 * 16 * 16;
+    wl.weight_elems = 8 * 8 * 9;
+    wl.odq_sensitive_fraction = sens;
+    wl.drq_sensitive_input_fraction = 0.5;
+    wl.sensitive_per_channel.assign(
+        8, static_cast<std::int64_t>(sens * 16 * 16));
+    return wl;
+  };
+  double prev_analytic = 0.0;
+  std::int64_t prev_micro = 0;
+  for (double s : {0.1, 0.3, 0.6}) {
+    const std::vector<accel::ConvWorkload> wls{layer(s)};
+    const double a =
+        accel::simulate(accel::odq_accelerator(), wls).total_cycles;
+    const auto m = accel::cyclesim::simulate_layer(wls[0], {});
+    EXPECT_GE(a, prev_analytic);
+    EXPECT_GE(m.cycles, prev_micro);
+    prev_analytic = a;
+    prev_micro = m.cycles;
+  }
+}
+
+TEST(MaskConsistency, ExecutorMatchesStandaloneOdqConv) {
+  // The executor plug-in and the standalone odq_conv_float agree bit-wise.
+  Tensor x = random_acts(Shape{1, 3, 10, 10}, 5);
+  Tensor w = random_weights(Shape{4, 3, 3, 3}, 6);
+  Tensor bias(Shape{4}, 0.1f);
+  core::OdqConfig cfg;
+  cfg.threshold = 0.2f;
+
+  Tensor direct = core::odq_conv_float(x, w, bias, 1, 1, cfg);
+  core::OdqConvExecutor exec(cfg);
+  Tensor via_exec = exec.run(x, w, bias, 1, 1, 0);
+  EXPECT_EQ(tensor::max_abs_diff(direct, via_exec), 0.0f);
+}
+
+}  // namespace
+}  // namespace odq

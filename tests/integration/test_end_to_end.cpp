@@ -1,0 +1,195 @@
+// End-to-end integration: train a small model on synthetic data, run every
+// quantization scheme through it, extract accelerator workloads and verify
+// the cross-module contracts the benches rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/simulator.hpp"
+#include "accel/workload.hpp"
+#include "core/odq.hpp"
+#include "core/threshold_search.hpp"
+#include "data/synthetic.hpp"
+#include "drq/drq.hpp"
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "quant/static_executor.hpp"
+
+namespace odq {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new data::TrainTest([] {
+      data::SyntheticConfig cfg;
+      cfg.num_classes = 4;
+      cfg.height = 16;
+      cfg.width = 16;
+      cfg.noise = 0.03f;
+      return data::make_synthetic_images(cfg, 96, 48);
+    }());
+    model_ = new nn::Model(nn::make_resnet(8, 4, 4));
+    nn::kaiming_init(*model_, 11);
+    nn::TrainConfig tc;
+    tc.epochs = 6;
+    tc.batch_size = 16;
+    tc.lr = 0.05f;
+    nn::SgdTrainer trainer(tc);
+    trainer.train(*model_, data_->train.images, data_->train.labels);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static data::TrainTest* data_;
+  static nn::Model* model_;
+
+  // Copy of the trained fixture model (weights only; same architecture).
+  static nn::Model clone_model() {
+    nn::Model copy = nn::make_resnet(8, 4, 4);
+    const std::string tmp = ::testing::TempDir() + "e2e_clone.bin";
+    model_->save(tmp);
+    copy.load(tmp);
+    std::remove(tmp.c_str());
+    return copy;
+  }
+
+  // The paper's retraining step: fine-tune with the quantized executor in
+  // the loop (straight-through estimator backward).
+  static double finetune_and_eval(nn::Model& m,
+                                  std::shared_ptr<nn::ConvExecutor> exec) {
+    m.set_conv_executor(std::move(exec));
+    nn::TrainConfig ft;
+    ft.epochs = 3;
+    ft.batch_size = 16;
+    ft.lr = 0.01f;
+    nn::SgdTrainer(ft).train(m, data_->train.images, data_->train.labels);
+    const double acc =
+        nn::evaluate_accuracy(m, data_->test.images, data_->test.labels);
+    m.set_conv_executor(nullptr);
+    return acc;
+  }
+};
+
+data::TrainTest* EndToEnd::data_ = nullptr;
+nn::Model* EndToEnd::model_ = nullptr;
+
+TEST_F(EndToEnd, Fp32BaselineLearns) {
+  const double acc =
+      nn::evaluate_accuracy(*model_, data_->test.images, data_->test.labels);
+  EXPECT_GT(acc, 0.5);  // chance = 0.25
+}
+
+TEST_F(EndToEnd, AccuracyOrderingAcrossSchemes) {
+  // The paper's Fig. 18 shape: INT16 ~ INT8 ~ ODQ >> DRQ(4-2).
+  const double fp32 =
+      nn::evaluate_accuracy(*model_, data_->test.images, data_->test.labels);
+
+  auto eval_with = [&](std::shared_ptr<nn::ConvExecutor> exec) {
+    model_->set_conv_executor(std::move(exec));
+    const double acc = nn::evaluate_accuracy(*model_, data_->test.images,
+                                             data_->test.labels);
+    model_->set_conv_executor(nullptr);
+    return acc;
+  };
+
+  const double int16 =
+      eval_with(std::make_shared<quant::StaticQuantConvExecutor>(16));
+  const double int8 =
+      eval_with(std::make_shared<quant::StaticQuantConvExecutor>(8));
+
+  // ODQ with the paper's retraining step (threshold in the loop).
+  core::OdqConfig ocfg;
+  ocfg.threshold = 0.15f;
+  nn::Model odq_model = clone_model();
+  const double odq = finetune_and_eval(
+      odq_model, std::make_shared<core::OdqConvExecutor>(ocfg));
+
+  // INT16 is nearly lossless.
+  EXPECT_NEAR(int16, fp32, 0.05);
+  // INT8 close to FP32.
+  EXPECT_GE(int8, fp32 - 0.15);
+  // ODQ after retraining lands near the static baselines (Fig. 18 shape).
+  EXPECT_GE(odq, int8 - 0.1);
+  EXPECT_GT(odq, 0.5);  // clearly above chance (0.25)
+}
+
+TEST_F(EndToEnd, OdqBeatsAggressiveDrqAtEqualBitBudget) {
+  // 4/2-bit DRQ vs 4/2-bit ODQ, both given the same retraining budget —
+  // the comparison the paper leads with (Fig. 18).
+  drq::DrqConfig dcfg;
+  dcfg.hi_bits = 4;
+  dcfg.lo_bits = 2;
+  dcfg.input_threshold = 0.25f;
+  nn::Model drq_model = clone_model();
+  const double drq42 = finetune_and_eval(
+      drq_model, std::make_shared<drq::DrqConvExecutor>(dcfg));
+
+  core::OdqConfig ocfg;
+  ocfg.threshold = 0.15f;
+  nn::Model odq_model = clone_model();
+  const double odq = finetune_and_eval(
+      odq_model, std::make_shared<core::OdqConvExecutor>(ocfg));
+
+  EXPECT_GE(odq, drq42 - 0.05);
+}
+
+TEST_F(EndToEnd, WorkloadsToSimulatorReproduceHeadlineOrdering) {
+  core::OdqConfig ocfg;
+  ocfg.threshold = 0.3f;
+  drq::DrqConfig dcfg;
+  dcfg.input_threshold = 0.25f;
+  tensor::Tensor sample(
+      tensor::Shape{2, 3, 16, 16},
+      std::vector<float>(data_->test.images.data(),
+                         data_->test.images.data() + 2 * 3 * 16 * 16));
+  auto workloads =
+      accel::extract_workloads(*model_, sample, ocfg, dcfg);
+  ASSERT_EQ(workloads.size(), model_->convs().size());
+
+  const double t16 =
+      accel::simulate(accel::int16_accelerator(), workloads).total_cycles;
+  const double tdrq =
+      accel::simulate(accel::drq_accelerator(), workloads).total_cycles;
+  const double todq =
+      accel::simulate(accel::odq_accelerator(), workloads).total_cycles;
+  EXPECT_LT(todq, tdrq);
+  EXPECT_LT(tdrq, t16);
+
+  const double e16 =
+      accel::simulate(accel::int16_accelerator(), workloads)
+          .energy.total_pj();
+  const double eodq =
+      accel::simulate(accel::odq_accelerator(), workloads).energy.total_pj();
+  EXPECT_LT(eodq, e16);
+}
+
+TEST_F(EndToEnd, ThresholdSearchFindsWorkingThreshold) {
+  const double ref =
+      nn::evaluate_accuracy(*model_, data_->test.images, data_->test.labels);
+  core::ThresholdSearchConfig scfg;
+  scfg.accuracy_tolerance = 0.15;
+  scfg.finetune_epochs = 0;
+  scfg.max_iterations = 6;
+  core::OdqConfig base;
+  // Copy the model so the shared fixture stays untouched.
+  nn::Model copy = nn::make_resnet(8, 4, 4);
+  const std::string tmp = ::testing::TempDir() + "e2e_model.bin";
+  model_->save(tmp);
+  copy.load(tmp);
+  std::remove(tmp.c_str());
+
+  auto res = core::search_threshold(copy, data_->train, data_->test, ref,
+                                    base, scfg);
+  EXPECT_GT(res.threshold, 0.0f);
+  EXPECT_GE(res.iterations, 1);
+}
+
+}  // namespace
+}  // namespace odq

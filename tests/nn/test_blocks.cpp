@@ -1,0 +1,124 @@
+#include "nn/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace odq::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal_f(0, 1);
+  return t;
+}
+
+TEST(ResidualBlock, IdentityShortcutPreservesShape) {
+  ResidualBlock block(8, 8, 1);
+  Tensor y = block.forward(random_tensor(Shape{2, 8, 8, 8}, 1), false);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 8, 8}));
+}
+
+TEST(ResidualBlock, ProjectionDownsamples) {
+  ResidualBlock block(8, 16, 2);
+  Tensor y = block.forward(random_tensor(Shape{2, 8, 8, 8}, 2), false);
+  EXPECT_EQ(y.shape(), Shape({2, 16, 4, 4}));
+}
+
+TEST(ResidualBlock, OutputIsNonNegative) {
+  ResidualBlock block(4, 4, 1);
+  Tensor y = block.forward(random_tensor(Shape{1, 4, 6, 6}, 3), false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_GE(y[i], 0.0f);
+}
+
+TEST(ResidualBlock, ZeroWeightsReduceToShortcutRelu) {
+  // With all conv/BN params zeroed (gamma=0), the main path contributes
+  // nothing and the block computes relu(x).
+  ResidualBlock block(3, 3, 1);
+  std::vector<Param*> ps;
+  block.collect_params(ps);
+  for (Param* p : ps) p->value.fill(0.0f);
+  Tensor x = random_tensor(Shape{1, 3, 4, 4}, 4);
+  Tensor y = block.forward(x, false);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], std::max(x[i], 0.0f));
+  }
+}
+
+TEST(ResidualBlock, ConvCountDependsOnProjection) {
+  ResidualBlock identity(4, 4, 1);
+  int n = 0;
+  identity.visit_convs([&n](Conv2d&) { ++n; });
+  EXPECT_EQ(n, 2);
+
+  ResidualBlock projected(4, 8, 2);
+  n = 0;
+  projected.visit_convs([&n](Conv2d&) { ++n; });
+  EXPECT_EQ(n, 3);
+}
+
+TEST(ResidualBlock, ParamCount) {
+  ResidualBlock identity(4, 4, 1);
+  std::vector<Param*> ps;
+  identity.collect_params(ps);
+  // conv1.w, bn1.gamma, bn1.beta, conv2.w, bn2.gamma, bn2.beta
+  EXPECT_EQ(ps.size(), 6u);
+
+  ResidualBlock projected(4, 8, 2);
+  ps.clear();
+  projected.collect_params(ps);
+  EXPECT_EQ(ps.size(), 9u);  // + proj conv.w, proj bn gamma/beta
+}
+
+TEST(DenseBlock, GrowsChannelsByGrowthPerLayer) {
+  DenseBlock block(6, 4, 3);
+  EXPECT_EQ(block.out_channels(), 6 + 4 * 3);
+  Tensor y = block.forward(random_tensor(Shape{1, 6, 5, 5}, 5), false);
+  EXPECT_EQ(y.shape(), Shape({1, 18, 5, 5}));
+}
+
+TEST(DenseBlock, InputChannelsPassThroughUnchanged) {
+  DenseBlock block(2, 2, 2);
+  Tensor x = random_tensor(Shape{1, 2, 4, 4}, 6);
+  Tensor y = block.forward(x, false);
+  // The first in_channels channels of the output are the input itself.
+  for (std::int64_t c = 0; c < 2; ++c) {
+    for (std::int64_t i = 0; i < 16; ++i) {
+      EXPECT_FLOAT_EQ(y.data()[c * 16 + i], x.data()[c * 16 + i]);
+    }
+  }
+}
+
+TEST(DenseBlock, VisitsOneConvPerLayer) {
+  DenseBlock block(4, 2, 5);
+  int n = 0;
+  block.visit_convs([&n](Conv2d&) { ++n; });
+  EXPECT_EQ(n, 5);
+}
+
+TEST(DenseBlock, BackwardBeforeForwardThrows) {
+  DenseBlock block(2, 2, 1);
+  EXPECT_THROW(block.backward(random_tensor(Shape{1, 4, 4, 4}, 7)),
+               std::logic_error);
+}
+
+TEST(TransitionLayer, HalvesSpatialAndSetsChannels) {
+  TransitionLayer tr(8, 4);
+  Tensor y = tr.forward(random_tensor(Shape{2, 8, 6, 6}, 8), false);
+  EXPECT_EQ(y.shape(), Shape({2, 4, 3, 3}));
+}
+
+TEST(TransitionLayer, VisitsItsConv) {
+  TransitionLayer tr(4, 2);
+  int n = 0;
+  tr.visit_convs([&n](Conv2d&) { ++n; });
+  EXPECT_EQ(n, 1);
+}
+
+}  // namespace
+}  // namespace odq::nn

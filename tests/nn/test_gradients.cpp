@@ -1,0 +1,250 @@
+// Finite-difference gradient checks for every trainable layer.
+//
+// For a scalar loss L = sum(w_out * layer(x)) with fixed random w_out, the
+// analytic input/parameter gradients must match central differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/blocks.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+namespace odq::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, float scale = 1.0f) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = rng.normal_f(0.0f, scale);
+  }
+  return t;
+}
+
+void randomize_params(Layer& layer, std::uint64_t seed) {
+  std::vector<Param*> ps;
+  layer.collect_params(ps);
+  util::Rng rng(seed);
+  for (Param* p : ps) {
+    const bool is_gamma = p->name.find("gamma") != std::string::npos;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      p->value[i] = is_gamma ? 1.0f + rng.normal_f(0.0f, 0.1f)
+                             : rng.normal_f(0.0f, 0.3f);
+    }
+  }
+}
+
+// Scalar loss: dot(out, w_out).
+double loss_of(Layer& layer, const Tensor& x, const Tensor& w_out) {
+  Tensor out = layer.forward(x, /*train=*/true);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) acc += out[i] * w_out[i];
+  return acc;
+}
+
+struct GradCheckResult {
+  double max_input_err = 0.0;
+  double max_param_err = 0.0;
+};
+
+// Central difference with a Richardson consistency check: returns false when
+// FD at eps and 2*eps disagree — the loss is locally non-smooth there (a
+// perturbation crossed a ReLU kink or a max-pool argmax switch), so the
+// coordinate cannot be validated by finite differences.
+bool central_difference(const std::function<double(float)>& loss_at,
+                        float orig, double eps, double* out) {
+  const double e1 = eps, e2 = 2 * eps;
+  const double num1 = (loss_at(orig + static_cast<float>(e1)) -
+                       loss_at(orig - static_cast<float>(e1))) /
+                      (2 * e1);
+  const double num2 = (loss_at(orig + static_cast<float>(e2)) -
+                       loss_at(orig - static_cast<float>(e2))) /
+                      (2 * e2);
+  if (std::abs(num1 - num2) > 0.05 * std::max(1.0, std::abs(num1))) {
+    return false;
+  }
+  *out = num1;
+  return true;
+}
+
+GradCheckResult grad_check(Layer& layer, Tensor x, std::uint64_t seed,
+                           double eps = 1e-3) {
+  Tensor out = layer.forward(x, /*train=*/true);
+  Tensor w_out = random_tensor(out.shape(), seed);
+
+  // Analytic gradients.
+  std::vector<Param*> ps;
+  layer.collect_params(ps);
+  for (Param* p : ps) p->zero_grad();
+  // Re-run forward so caches match the x we'll perturb (some layers cache).
+  (void)layer.forward(x, /*train=*/true);
+  Tensor dx = layer.backward(w_out);
+
+  GradCheckResult res;
+  // Input gradient vs central differences (subsampled for speed).
+  const std::int64_t stride_in = std::max<std::int64_t>(1, x.numel() / 40);
+  for (std::int64_t i = 0; i < x.numel(); i += stride_in) {
+    const float orig = x[i];
+    auto loss_at = [&](float v) {
+      x[i] = v;
+      const double l = loss_of(layer, x, w_out);
+      x[i] = orig;
+      return l;
+    };
+    double num = 0.0;
+    if (!central_difference(loss_at, orig, eps, &num)) continue;
+    res.max_input_err =
+        std::max(res.max_input_err, std::abs(num - dx[i]) /
+                                        std::max(1.0, std::abs(num)));
+  }
+  // Parameter gradients.
+  for (Param* p : ps) {
+    const std::int64_t stride_p =
+        std::max<std::int64_t>(1, p->value.numel() / 20);
+    for (std::int64_t i = 0; i < p->value.numel(); i += stride_p) {
+      const float orig = p->value[i];
+      auto loss_at = [&](float v) {
+        p->value[i] = v;
+        const double l = loss_of(layer, x, w_out);
+        p->value[i] = orig;
+        return l;
+      };
+      double num = 0.0;
+      if (!central_difference(loss_at, orig, eps, &num)) continue;
+      res.max_param_err =
+          std::max(res.max_param_err, std::abs(num - p->grad[i]) /
+                                          std::max(1.0, std::abs(num)));
+    }
+  }
+  return res;
+}
+
+constexpr double kTol = 2e-2;
+
+TEST(Gradients, Conv2dNoBias) {
+  Conv2d conv(2, 3, 3, 1, 1, /*bias=*/false);
+  randomize_params(conv, 1);
+  auto r = grad_check(conv, random_tensor(Shape{2, 2, 5, 5}, 2), 3);
+  EXPECT_LT(r.max_input_err, kTol);
+  EXPECT_LT(r.max_param_err, kTol);
+}
+
+TEST(Gradients, Conv2dWithBias) {
+  Conv2d conv(1, 2, 3, 1, 1, /*bias=*/true);
+  randomize_params(conv, 4);
+  auto r = grad_check(conv, random_tensor(Shape{1, 1, 6, 6}, 5), 6);
+  EXPECT_LT(r.max_input_err, kTol);
+  EXPECT_LT(r.max_param_err, kTol);
+}
+
+TEST(Gradients, Conv2dStride2) {
+  Conv2d conv(2, 2, 3, 2, 1, /*bias=*/false);
+  randomize_params(conv, 7);
+  auto r = grad_check(conv, random_tensor(Shape{1, 2, 8, 8}, 8), 9);
+  EXPECT_LT(r.max_input_err, kTol);
+  EXPECT_LT(r.max_param_err, kTol);
+}
+
+TEST(Gradients, Conv2d1x1) {
+  Conv2d conv(3, 2, 1, 1, 0, /*bias=*/false);
+  randomize_params(conv, 10);
+  auto r = grad_check(conv, random_tensor(Shape{2, 3, 4, 4}, 11), 12);
+  EXPECT_LT(r.max_input_err, kTol);
+  EXPECT_LT(r.max_param_err, kTol);
+}
+
+TEST(Gradients, Linear) {
+  Linear fc(6, 4);
+  randomize_params(fc, 13);
+  auto r = grad_check(fc, random_tensor(Shape{3, 6}, 14), 15);
+  EXPECT_LT(r.max_input_err, kTol);
+  EXPECT_LT(r.max_param_err, kTol);
+}
+
+TEST(Gradients, BatchNorm) {
+  BatchNorm2d bn(3);
+  randomize_params(bn, 16);
+  auto r = grad_check(bn, random_tensor(Shape{4, 3, 3, 3}, 17), 18);
+  EXPECT_LT(r.max_input_err, 5e-2);  // BN grads are stiffer numerically
+  EXPECT_LT(r.max_param_err, 5e-2);
+}
+
+TEST(Gradients, ReLU) {
+  ReLU relu;
+  // Keep values away from the kink for clean finite differences.
+  Tensor x = random_tensor(Shape{2, 3, 4, 4}, 19);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::abs(x[i]) < 0.05f) x[i] = 0.2f;
+  }
+  auto r = grad_check(relu, x, 20);
+  EXPECT_LT(r.max_input_err, kTol);
+}
+
+TEST(Gradients, MaxPool) {
+  MaxPool2d pool(2);
+  auto r = grad_check(pool, random_tensor(Shape{1, 2, 4, 4}, 21), 22);
+  EXPECT_LT(r.max_input_err, kTol);
+}
+
+TEST(Gradients, AvgPool) {
+  AvgPool2d pool(2);
+  auto r = grad_check(pool, random_tensor(Shape{1, 2, 4, 4}, 23), 24);
+  EXPECT_LT(r.max_input_err, kTol);
+}
+
+TEST(Gradients, GlobalAvgPool) {
+  GlobalAvgPool gap;
+  auto r = grad_check(gap, random_tensor(Shape{2, 3, 4, 4}, 25), 26);
+  EXPECT_LT(r.max_input_err, kTol);
+}
+
+TEST(Gradients, Flatten) {
+  Flatten fl;
+  auto r = grad_check(fl, random_tensor(Shape{2, 2, 3, 3}, 27), 28);
+  EXPECT_LT(r.max_input_err, kTol);
+}
+
+TEST(Gradients, ResidualBlockIdentityShortcut) {
+  ResidualBlock block(3, 3, 1);
+  randomize_params(block, 29);
+  auto r = grad_check(block, random_tensor(Shape{1, 3, 5, 5}, 30), 31);
+  EXPECT_LT(r.max_input_err, 6e-2);
+  EXPECT_LT(r.max_param_err, 6e-2);
+}
+
+TEST(Gradients, ResidualBlockProjectionShortcut) {
+  ResidualBlock block(2, 4, 2);
+  randomize_params(block, 32);
+  auto r = grad_check(block, random_tensor(Shape{1, 2, 6, 6}, 33), 34);
+  EXPECT_LT(r.max_input_err, 6e-2);
+  EXPECT_LT(r.max_param_err, 6e-2);
+}
+
+TEST(Gradients, DenseBlock) {
+  DenseBlock block(2, 2, 2);
+  randomize_params(block, 35);
+  auto r = grad_check(block, random_tensor(Shape{1, 2, 4, 4}, 36), 37);
+  EXPECT_LT(r.max_input_err, 6e-2);
+  EXPECT_LT(r.max_param_err, 6e-2);
+}
+
+TEST(Gradients, TransitionLayer) {
+  TransitionLayer tr(4, 2);
+  randomize_params(tr, 38);
+  auto r = grad_check(tr, random_tensor(Shape{1, 4, 4, 4}, 39), 40);
+  EXPECT_LT(r.max_input_err, 6e-2);
+  EXPECT_LT(r.max_param_err, 6e-2);
+}
+
+}  // namespace
+}  // namespace odq::nn

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+namespace odq::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal_f(0, 1);
+  return t;
+}
+
+TEST(Conv2dLayer, OutputGeometry) {
+  Conv2d conv(3, 8, 3, 1, 1);
+  Tensor y = conv.forward(random_tensor(Shape{2, 3, 16, 16}, 1), false);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 16, 16}));
+
+  Conv2d strided(3, 8, 3, 2, 1);
+  Tensor ys = strided.forward(random_tensor(Shape{2, 3, 16, 16}, 2), false);
+  EXPECT_EQ(ys.shape(), Shape({2, 8, 8, 8}));
+}
+
+TEST(Conv2dLayer, RejectsWrongChannelCount) {
+  Conv2d conv(3, 8, 3, 1, 1);
+  EXPECT_THROW(conv.forward(random_tensor(Shape{1, 4, 8, 8}, 3), false),
+               std::invalid_argument);
+}
+
+TEST(Conv2dLayer, BackwardBeforeForwardThrows) {
+  Conv2d conv(1, 1, 3, 1, 1);
+  EXPECT_THROW(conv.backward(random_tensor(Shape{1, 1, 4, 4}, 4)),
+               std::logic_error);
+}
+
+TEST(Conv2dLayer, ParamsExposeWeightAndBias) {
+  Conv2d with_bias(2, 4, 3, 1, 1, true);
+  std::vector<Param*> ps;
+  with_bias.collect_params(ps);
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->value.shape(), Shape({4, 2, 3, 3}));
+  EXPECT_EQ(ps[1]->value.shape(), Shape({4}));
+
+  Conv2d no_bias(2, 4, 3, 1, 1, false);
+  ps.clear();
+  no_bias.collect_params(ps);
+  EXPECT_EQ(ps.size(), 1u);
+}
+
+TEST(Conv2dLayer, MacsForFormula) {
+  Conv2d conv(16, 32, 3, 1, 1);
+  // 32x32 input -> 32x32 output: 32*32*32*16*3*3
+  EXPECT_EQ(conv.macs_for(32, 32), 32LL * 32 * 32 * 16 * 3 * 3);
+}
+
+TEST(Conv2dLayer, VisitConvsVisitsSelf) {
+  Conv2d conv(1, 1, 3, 1, 1);
+  int count = 0;
+  conv.visit_convs([&count](Conv2d&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(LinearLayer, ComputesAffine) {
+  Linear fc(2, 2);
+  fc.weight().value = Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  fc.bias().value = Tensor(Shape{2}, std::vector<float>{0.5f, -0.5f});
+  Tensor x(Shape{1, 2}, std::vector<float>{1, 1});
+  Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 6.5f);
+}
+
+TEST(LinearLayer, RejectsWrongFeatureCount) {
+  Linear fc(3, 2);
+  EXPECT_THROW(fc.forward(random_tensor(Shape{1, 5}, 5), false),
+               std::invalid_argument);
+}
+
+TEST(BatchNormLayer, TrainModeNormalizesBatch) {
+  BatchNorm2d bn(2);
+  Tensor x = random_tensor(Shape{8, 2, 4, 4}, 6);
+  Tensor y = bn.forward(x, /*train=*/true);
+  // Per channel: mean ~0, var ~1.
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t b = 0; b < 8; ++b) {
+      for (std::int64_t i = 0; i < 16; ++i) {
+        mean += y.data()[(b * 2 + c) * 16 + i];
+        ++n;
+      }
+    }
+    mean /= n;
+    for (std::int64_t b = 0; b < 8; ++b) {
+      for (std::int64_t i = 0; i < 16; ++i) {
+        const double d = y.data()[(b * 2 + c) * 16 + i] - mean;
+        var += d * d;
+      }
+    }
+    var /= n;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormLayer, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  Tensor x(Shape{4, 1, 2, 2}, 2.0f);
+  // Train repeatedly so running stats converge to mean=2, var->0.
+  for (int i = 0; i < 250; ++i) (void)bn.forward(x, true);
+  Tensor y = bn.forward(x, /*train=*/false);
+  // Input equals the running mean, so eval output ~= beta = 0.
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], 0.0f, 0.1f);
+}
+
+TEST(BatchNormLayer, GammaBetaAffectOutput) {
+  BatchNorm2d bn(1);
+  bn.gamma().value.fill(2.0f);
+  bn.beta().value.fill(1.0f);
+  Tensor x = random_tensor(Shape{4, 1, 3, 3}, 7);
+  Tensor y = bn.forward(x, true);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) mean += y[i];
+  EXPECT_NEAR(mean / y.numel(), 1.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(ReLULayer, ForwardMasksNegatives) {
+  ReLU relu;
+  Tensor x(Shape{4}, std::vector<float>{-1, 2, -3, 4});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(y[1], 2);
+  EXPECT_FLOAT_EQ(y[2], 0);
+  EXPECT_FLOAT_EQ(y[3], 4);
+}
+
+TEST(ReLULayer, BackwardUsesMask) {
+  ReLU relu;
+  Tensor x(Shape{2}, std::vector<float>{-1, 1});
+  (void)relu.forward(x, true);
+  Tensor g(Shape{2}, std::vector<float>{5, 5});
+  Tensor dx = relu.backward(g);
+  EXPECT_FLOAT_EQ(dx[0], 0);
+  EXPECT_FLOAT_EQ(dx[1], 5);
+}
+
+TEST(PoolingLayers, Shapes) {
+  Tensor x = random_tensor(Shape{2, 3, 8, 8}, 8);
+  MaxPool2d mp(2);
+  EXPECT_EQ(mp.forward(x, false).shape(), Shape({2, 3, 4, 4}));
+  AvgPool2d ap(2);
+  EXPECT_EQ(ap.forward(x, false).shape(), Shape({2, 3, 4, 4}));
+  GlobalAvgPool gap;
+  EXPECT_EQ(gap.forward(x, false).shape(), Shape({2, 3}));
+  Flatten fl;
+  EXPECT_EQ(fl.forward(x, false).shape(), Shape({2, 3 * 8 * 8}));
+}
+
+TEST(Loss, CrossEntropyOfUniformLogits) {
+  Tensor logits(Shape{2, 4}, 0.0f);
+  LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Tensor logits = random_tensor(Shape{3, 5}, 9);
+  LossResult r = softmax_cross_entropy(logits, {1, 2, 4});
+  for (std::int64_t i = 0; i < 3; ++i) {
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < 5; ++j) sum += r.grad_logits.at2(i, j);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Loss, PerfectPredictionHasLowLoss) {
+  Tensor logits(Shape{1, 3}, std::vector<float>{10.0f, -10.0f, -10.0f});
+  LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-4f);
+}
+
+TEST(Loss, RejectsBadLabels) {
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {5}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(Loss, GradMatchesFiniteDifference) {
+  Tensor logits = random_tensor(Shape{2, 4}, 10);
+  const std::vector<int> labels{2, 0};
+  LossResult r = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const double num = (softmax_cross_entropy(lp, labels).loss -
+                        softmax_cross_entropy(lm, labels).loss) /
+                       (2 * eps);
+    EXPECT_NEAR(num, r.grad_logits[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace odq::nn

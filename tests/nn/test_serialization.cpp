@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace odq::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "odq_model_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SerializationTest, SaveLoadRoundTripsForward) {
+  Model a = make_lenet5();
+  kaiming_init(a, 1);
+  a.save(path_);
+
+  Model b = make_lenet5();
+  kaiming_init(b, 2);  // different weights
+  b.load(path_);
+
+  util::Rng rng(3);
+  Tensor x(Shape{2, 1, 28, 28});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
+  EXPECT_EQ(tensor::max_abs_diff(a.forward(x, false), b.forward(x, false)),
+            0.0f);
+}
+
+TEST_F(SerializationTest, LoadRejectsArchitectureMismatch) {
+  Model a = make_lenet5();
+  kaiming_init(a, 1);
+  a.save(path_);
+  Model b = make_resnet(8, 10, 4);
+  EXPECT_THROW(b.load(path_), std::runtime_error);
+}
+
+TEST_F(SerializationTest, LoadRejectsGarbageFile) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    const char junk[] = "not a model";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  Model m = make_lenet5();
+  EXPECT_THROW(m.load(path_), std::runtime_error);
+}
+
+TEST_F(SerializationTest, BatchNormRunningStatsSurviveRoundTrip) {
+  // Train so running stats diverge from their init; a load that dropped them
+  // would change eval-mode outputs.
+  Model a = make_resnet(8, 4, 2);
+  kaiming_init(a, 3);
+  util::Rng rng(4);
+  Tensor x(Shape{4, 3, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
+  for (int i = 0; i < 5; ++i) (void)a.forward(x, /*train=*/true);
+  a.save(path_);
+
+  Model b = make_resnet(8, 4, 2);
+  kaiming_init(b, 5);
+  b.load(path_);
+  EXPECT_EQ(tensor::max_abs_diff(a.forward(x, false), b.forward(x, false)),
+            0.0f);
+  // And the buffers really moved during training (the test has teeth).
+  Model fresh = make_resnet(8, 4, 2);
+  ASSERT_FALSE(a.buffers().empty());
+  bool moved = false;
+  for (std::size_t i = 0; i < a.buffers().size(); ++i) {
+    if (tensor::max_abs_diff(*a.buffers()[i], *fresh.buffers()[i]) > 1e-6f) {
+      moved = true;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Serialization, BufferCountMatchesBatchNormLayers) {
+  Model m = make_resnet(8, 10, 4);
+  // stem bn + 3 blocks x 2 bns + 2 projection bns = 1 + 6 + 2 -> x2 tensors
+  EXPECT_EQ(m.buffers().size(), 2u * (1 + 6 + 2));
+}
+
+TEST(Serialization, SaveToBadPathThrows) {
+  Model m = make_lenet5();
+  EXPECT_THROW(m.save("/nonexistent_dir_xyz/m.bin"), std::runtime_error);
+}
+
+TEST(Serialization, LoadMissingFileThrows) {
+  Model m = make_lenet5();
+  EXPECT_THROW(m.load("/nonexistent_dir_xyz/m.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odq::nn

@@ -1,0 +1,83 @@
+#include "nn/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/blocks.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+#include "nn/pooling.hpp"
+
+namespace odq::nn {
+namespace {
+
+using tensor::Shape;
+
+TEST(Summary, LayerCountMatchesModel) {
+  Model m = make_lenet5();
+  kaiming_init(m, 1);
+  ModelSummary s = summarize(m, Shape{1, 1, 28, 28});
+  EXPECT_EQ(s.layers.size(), m.num_layers());
+}
+
+TEST(Summary, TotalParamsMatchModel) {
+  Model m = make_resnet20(10, 4);
+  kaiming_init(m, 2);
+  ModelSummary s = summarize(m, Shape{1, 3, 32, 32});
+  EXPECT_EQ(s.total_parameters, m.num_parameters());
+}
+
+TEST(Summary, ConvMacsAreExact) {
+  // Single conv: 8 filters of 3x3x3 over a 32x32 map, stride 1, pad 1.
+  Model m("one_conv");
+  m.add<Conv2d>(3, 8, 3, 1, 1, false, "c");
+  ModelSummary s = summarize(m, Shape{1, 3, 32, 32});
+  EXPECT_EQ(s.total_macs, 32LL * 32 * 8 * 3 * 3 * 3);
+}
+
+TEST(Summary, StridedBlockMacsAccountForDownsampling) {
+  // A stride-2 residual block on 8x8 input: conv1 runs on 8x8 -> 4x4 out,
+  // conv2 on 4x4, projection on 8x8 -> 4x4.
+  Model m("block");
+  m.add<ResidualBlock>(4, 8, 2, "b");
+  ModelSummary s = summarize(m, Shape{1, 4, 8, 8});
+  const std::int64_t conv1 = 4LL * 4 * 8 * 4 * 3 * 3;
+  const std::int64_t conv2 = 4LL * 4 * 8 * 8 * 3 * 3;
+  const std::int64_t proj = 4LL * 4 * 8 * 4 * 1 * 1;
+  EXPECT_EQ(s.total_macs, conv1 + conv2 + proj);
+}
+
+TEST(Summary, LinearMacsCounted) {
+  Model m("fc_only");
+  m.add<Flatten>();
+  m.add<Linear>(16, 4);
+  ModelSummary s = summarize(m, Shape{1, 1, 4, 4});
+  EXPECT_EQ(s.total_macs, 64);
+}
+
+TEST(Summary, OutputShapesTracked) {
+  Model m = make_resnet20(10, 4);
+  kaiming_init(m, 3);
+  ModelSummary s = summarize(m, Shape{2, 3, 32, 32});
+  EXPECT_EQ(s.layers.back().output_shape, Shape({2, 10}));
+}
+
+TEST(Summary, RendersTable) {
+  Model m = make_lenet5();
+  kaiming_init(m, 4);
+  ModelSummary s = summarize(m, Shape{1, 1, 28, 28});
+  const std::string table = s.str();
+  EXPECT_NE(table.find("layer"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+  EXPECT_NE(table.find("c1"), std::string::npos);
+}
+
+TEST(Summary, ExecutorRestoredAfterwards) {
+  Model m = make_lenet5();
+  kaiming_init(m, 5);
+  (void)summarize(m, Shape{1, 1, 28, 28});
+  for (Conv2d* c : m.convs()) EXPECT_EQ(c->executor(), nullptr);
+}
+
+}  // namespace
+}  // namespace odq::nn

@@ -1,0 +1,197 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+#include "nn/pooling.hpp"
+
+namespace odq::nn {
+namespace {
+
+TEST(Trainer, LossDecreasesOnSeparableData) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.height = 16;
+  cfg.width = 16;
+  cfg.noise = 0.03f;
+  auto data = data::make_synthetic_images(cfg, 64, 32);
+
+  Model model = make_resnet(8, 4, /*base_width=*/4);
+  kaiming_init(model, 1);
+
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  SgdTrainer trainer(tc);
+
+  std::vector<float> losses;
+  trainer.train(model, data.train.images, data.train.labels,
+                [&losses](std::int64_t, const EpochStats& s) {
+                  losses.push_back(s.loss);
+                });
+  ASSERT_EQ(losses.size(), 4u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(Trainer, AccuracyBeatsChanceAfterTraining) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.height = 16;
+  cfg.width = 16;
+  cfg.noise = 0.03f;
+  auto data = data::make_synthetic_images(cfg, 96, 48);
+
+  Model model = make_resnet(8, 4, 4);
+  kaiming_init(model, 2);
+
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  SgdTrainer trainer(tc);
+  trainer.train(model, data.train.images, data.train.labels);
+
+  const double acc =
+      evaluate_accuracy(model, data.test.images, data.test.labels);
+  EXPECT_GT(acc, 0.5);  // chance = 0.25
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  auto data = data::make_synthetic_images(cfg, 32, 16);
+
+  auto run = [&data] {
+    Model model = make_resnet(8, 2, 2);
+    kaiming_init(model, 3);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 8;
+    SgdTrainer trainer(tc);
+    trainer.train(model, data.train.images, data.train.labels);
+    return evaluate_accuracy(model, data.test.images, data.test.labels);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Trainer, LrScheduleReducesStepSize) {
+  TrainConfig tc;
+  tc.lr = 0.1f;
+  tc.lr_step = 2;
+  tc.lr_decay = 0.1f;
+  // Schedule math is internal; exercise via two epochs and verify weights
+  // still change (smoke) — the schedule path must not crash or NaN.
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  auto data = data::make_synthetic_images(cfg, 16, 8);
+  Model model = make_resnet(8, 2, 2);
+  kaiming_init(model, 4);
+  tc.epochs = 3;
+  tc.batch_size = 8;
+  SgdTrainer trainer(tc);
+  trainer.train(model, data.train.images, data.train.labels);
+  for (Param* p : model.params()) {
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      ASSERT_FALSE(std::isnan(p->value[i]));
+    }
+  }
+}
+
+TEST(Trainer, AdamAlsoLearns) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.height = 16;
+  cfg.width = 16;
+  cfg.noise = 0.03f;
+  auto data = data::make_synthetic_images(cfg, 64, 32);
+  Model model = make_resnet(8, 4, 4);
+  kaiming_init(model, 9);
+
+  TrainConfig tc;
+  tc.optimizer = Optimizer::kAdam;
+  tc.epochs = 5;
+  tc.batch_size = 16;
+  tc.lr = 0.002f;
+  std::vector<float> losses;
+  SgdTrainer(tc).train(model, data.train.images, data.train.labels,
+                       [&losses](std::int64_t, const EpochStats& s) {
+                         losses.push_back(s.loss);
+                       });
+  EXPECT_LT(losses.back(), losses.front());
+  const double acc =
+      evaluate_accuracy(model, data.test.images, data.test.labels);
+  EXPECT_GT(acc, 0.4);  // chance = 0.25
+}
+
+TEST(Trainer, AdamStateBuffersAllocated) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  auto data = data::make_synthetic_images(cfg, 16, 8);
+  Model model = make_resnet(8, 2, 2);
+  kaiming_init(model, 10);
+  TrainConfig tc;
+  tc.optimizer = Optimizer::kAdam;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  SgdTrainer(tc).train(model, data.train.images, data.train.labels);
+  for (Param* p : model.params()) {
+    EXPECT_EQ(p->velocity.numel(), p->value.numel());
+  }
+}
+
+TEST(Trainer, AugmentHookInvokedPerBatch) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  auto data = data::make_synthetic_images(cfg, 32, 8);
+  Model model = make_resnet(8, 2, 2);
+  kaiming_init(model, 6);
+
+  int calls = 0;
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;
+  tc.augment = [&calls](tensor::Tensor& batch) {
+    ++calls;
+    EXPECT_EQ(batch.shape()[0], 8);
+  };
+  SgdTrainer(tc).train(model, data.train.images, data.train.labels);
+  EXPECT_EQ(calls, 2 * 32 / 8);
+}
+
+TEST(EvaluateAccuracy, PerfectAndZero) {
+  // A linear model rigged to always output class 0.
+  Model m("rigged");
+  m.add<Flatten>();
+  auto& fc = m.add<Linear>(4, 2);
+  fc.weight().value.fill(0.0f);
+  fc.bias().value = tensor::Tensor(tensor::Shape{2},
+                                   std::vector<float>{1.0f, -1.0f});
+  tensor::Tensor images(tensor::Shape{4, 1, 2, 2}, 0.5f);
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(m, images, {0, 0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(m, images, {1, 1, 1, 1}), 0.0);
+}
+
+TEST(EvaluateAccuracy, RejectsLabelCountMismatch) {
+  Model m("x");
+  m.add<Flatten>();
+  m.add<Linear>(4, 2);
+  tensor::Tensor images(tensor::Shape{4, 1, 2, 2});
+  EXPECT_THROW(evaluate_accuracy(m, images, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odq::nn

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "quant/bitsplit.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace odq::quant {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TensorI32;
+using tensor::TensorI8;
+
+TensorI8 random_codes(Shape shape, std::uint64_t seed, int lo, int hi) {
+  util::Rng rng(seed);
+  TensorI8 t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<std::int8_t>(rng.uniform_int(lo, hi));
+  }
+  return t;
+}
+
+TEST(ConvI8, MatchesFloatConvOnIntegerData) {
+  TensorI8 in = random_codes(Shape{1, 2, 6, 6}, 1, 0, 15);
+  TensorI8 w = random_codes(Shape{3, 2, 3, 3}, 2, -7, 7);
+  TensorI32 out = conv2d_i8(in, w, 1, 1);
+
+  Tensor inf(in.shape()), wf(w.shape());
+  for (std::int64_t i = 0; i < in.numel(); ++i) inf[i] = in[i];
+  for (std::int64_t i = 0; i < w.numel(); ++i) wf[i] = w[i];
+  Tensor bias;
+  Tensor ref = tensor::conv2d_direct(inf, wf, bias, 1, 1);
+
+  ASSERT_EQ(out.shape(), ref.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::int32_t>(ref[i]));
+  }
+}
+
+TEST(ConvI8, StridedGeometry) {
+  TensorI8 in = random_codes(Shape{2, 1, 8, 8}, 3, 0, 15);
+  TensorI8 w = random_codes(Shape{2, 1, 3, 3}, 4, -7, 7);
+  TensorI32 out = conv2d_i8(in, w, 2, 1);
+  EXPECT_EQ(out.shape(), Shape({2, 2, 4, 4}));
+}
+
+TEST(ConvI8, AccumShiftsProducts) {
+  TensorI8 in(Shape{1, 1, 1, 1}, std::int8_t{3});
+  TensorI8 w(Shape{1, 1, 1, 1}, std::int8_t{2});
+  TensorI32 out(Shape{1, 1, 1, 1});
+  conv2d_i8_accum(in, w, 1, 0, /*shift=*/4, out);
+  EXPECT_EQ(out[0], 6 << 4);
+  conv2d_i8_accum(in, w, 1, 0, /*shift=*/0, out);
+  EXPECT_EQ(out[0], (6 << 4) + 6);  // accumulates on top
+}
+
+TEST(ConvI8, ChannelMismatchThrows) {
+  TensorI8 in(Shape{1, 2, 4, 4});
+  TensorI8 w(Shape{1, 3, 3, 3});
+  EXPECT_THROW(conv2d_i8(in, w, 1, 1), std::invalid_argument);
+}
+
+TEST(ConvI8, BadOutputShapeThrows) {
+  TensorI8 in(Shape{1, 1, 4, 4});
+  TensorI8 w(Shape{1, 1, 3, 3});
+  TensorI32 out(Shape{1, 1, 9, 9});
+  EXPECT_THROW(conv2d_i8_accum(in, w, 1, 1, 0, out), std::invalid_argument);
+}
+
+TEST(ConvI8Fast, BitIdenticalToDirect) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    TensorI8 in = random_codes(Shape{2, 3, 9, 7}, 100 + seed, 0, 15);
+    TensorI8 w = random_codes(Shape{4, 3, 3, 3}, 200 + seed, -8, 7);
+    for (std::int64_t stride : {1, 2}) {
+      TensorI32 direct = conv2d_i8(in, w, stride, 1);
+      TensorI32 fast = conv2d_i8_fast(in, w, stride, 1);
+      ASSERT_EQ(direct.shape(), fast.shape());
+      for (std::int64_t i = 0; i < direct.numel(); ++i) {
+        ASSERT_EQ(direct[i], fast[i]) << "seed=" << seed << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ConvI8Fast, OneByOneKernel) {
+  TensorI8 in = random_codes(Shape{1, 4, 5, 5}, 9, 0, 15);
+  TensorI8 w = random_codes(Shape{2, 4, 1, 1}, 10, -7, 7);
+  TensorI32 direct = conv2d_i8(in, w, 1, 0);
+  TensorI32 fast = conv2d_i8_fast(in, w, 1, 0);
+  for (std::int64_t i = 0; i < direct.numel(); ++i) {
+    ASSERT_EQ(direct[i], fast[i]);
+  }
+}
+
+TEST(ConvI8Fast, RejectsBadShapes) {
+  TensorI8 in(Shape{1, 2, 4, 4});
+  TensorI8 w(Shape{1, 3, 3, 3});
+  EXPECT_THROW(conv2d_i8_fast(in, w, 1, 1), std::invalid_argument);
+}
+
+TEST(Im2colI8, MatchesFloatIm2col) {
+  TensorI8 in = random_codes(Shape{1, 2, 6, 6}, 11, -8, 7);
+  Tensor inf(in.shape());
+  for (std::int64_t i = 0; i < in.numel(); ++i) inf[i] = in[i];
+  TensorI8 ci = im2col_i8(in, 3, 3, 1, 1);
+  Tensor cf = tensor::im2col(inf, 3, 3, 1, 1);
+  ASSERT_EQ(ci.numel(), cf.numel());
+  for (std::int64_t i = 0; i < ci.numel(); ++i) {
+    ASSERT_EQ(static_cast<float>(ci[i]), cf[i]);
+  }
+}
+
+TEST(ConvI8, BitSplitDecompositionMatchesFullConv) {
+  // conv(a, b) == conv(ah, bh)<<4 + (conv(ah, bl) + conv(al, bh))<<2
+  //             + conv(al, bl)  -- Eq. (3) lifted to whole convolutions.
+  TensorI8 in = random_codes(Shape{1, 3, 5, 5}, 7, 0, 15);
+  TensorI8 w = random_codes(Shape{4, 3, 3, 3}, 8, -8, 7);
+  SplitTensor si = split_codes(in);
+  SplitTensor sw = split_codes(w);
+
+  TensorI32 full = conv2d_i8(in, w, 1, 1);
+  TensorI32 sum(full.shape());
+  conv2d_i8_accum(si.high, sw.high, 1, 1, 4, sum);
+  conv2d_i8_accum(si.high, sw.low, 1, 1, 2, sum);
+  conv2d_i8_accum(si.low, sw.high, 1, 1, 2, sum);
+  conv2d_i8_accum(si.low, sw.low, 1, 1, 0, sum);
+
+  for (std::int64_t i = 0; i < full.numel(); ++i) {
+    EXPECT_EQ(sum[i], full[i]) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace odq::quant

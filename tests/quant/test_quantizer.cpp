@@ -1,0 +1,246 @@
+#include "quant/quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace odq::quant {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, float lo, float hi) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(lo, hi);
+  return t;
+}
+
+TEST(QuantizeWeights, CodesStayInSignedRange) {
+  Tensor w = random_tensor(Shape{64}, 1, -2.0f, 2.0f);
+  for (int bits : {2, 3, 4, 8}) {
+    QTensor q = quantize_weights(w, bits);
+    const std::int32_t qmax = (1 << (bits - 1)) - 1;
+    for (std::int64_t i = 0; i < q.q.numel(); ++i) {
+      EXPECT_GE(q.q[i], -qmax);
+      EXPECT_LE(q.q[i], qmax);
+    }
+    EXPECT_EQ(q.qmax(), qmax);
+    EXPECT_TRUE(q.is_signed);
+  }
+}
+
+TEST(QuantizeWeights, MaxMagnitudeHitsQmax) {
+  Tensor w(Shape{3}, std::vector<float>{-1.0f, 0.5f, 0.25f});
+  QTensor q = quantize_weights(w, 4);
+  EXPECT_EQ(q.q[0], -7);  // |w| max maps to -qmax
+}
+
+TEST(QuantizeWeights, RoundTripErrorBoundedByHalfStep) {
+  Tensor w = random_tensor(Shape{256}, 2, -1.0f, 1.0f);
+  QTensor q = quantize_weights(w, 4);
+  Tensor d = q.dequantize();
+  EXPECT_LE(tensor::max_abs_diff(w, d), q.scale * 0.5f + 1e-6f);
+}
+
+TEST(QuantizeWeights, MoreBitsMeansLessError) {
+  Tensor w = random_tensor(Shape{512}, 3, -1.0f, 1.0f);
+  float prev = 1e9f;
+  for (int bits : {2, 3, 4, 6, 8}) {
+    QTensor q = quantize_weights(w, bits);
+    const float err = tensor::mean_abs_diff(w, q.dequantize());
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(QuantizeWeights, DoReFaTransformCompressesTails) {
+  // tanh normalization devotes more levels to small weights: for a tensor
+  // with one large outlier, DoReFa round-trips the bulk better than linear.
+  Tensor w(Shape{9},
+           std::vector<float>{5.0f, 0.1f, -0.1f, 0.05f, -0.05f, 0.2f, -0.2f,
+                              0.15f, -0.15f});
+  QTensor lin = quantize_weights(w, 4, WeightTransform::kLinear);
+  QTensor dor = quantize_weights(w, 4, WeightTransform::kDoReFa);
+  // Compare error on the small-magnitude bulk (skip the outlier at index 0).
+  float lin_err = 0.0f, dor_err = 0.0f;
+  Tensor lin_d = lin.dequantize(), dor_d = dor.dequantize();
+  for (std::int64_t i = 1; i < 9; ++i) {
+    lin_err += std::abs(lin_d[i] - w[i]);
+    dor_err += std::abs(dor_d[i] - std::tanh(w[i]));
+  }
+  EXPECT_LT(dor_err, lin_err);
+}
+
+TEST(QuantizeWeights, RejectsBadBits) {
+  Tensor w(Shape{4}, 1.0f);
+  EXPECT_THROW(quantize_weights(w, 1), std::invalid_argument);
+  EXPECT_THROW(quantize_weights(w, 9), std::invalid_argument);
+}
+
+TEST(QuantizeWeights, AllZeroTensorSafe) {
+  Tensor w(Shape{8}, 0.0f);
+  QTensor q = quantize_weights(w, 4);
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_EQ(q.q[i], 0);
+  EXPECT_GT(q.scale, 0.0f);
+}
+
+TEST(QuantizeActivations, CodesAreUnsigned) {
+  Tensor x = random_tensor(Shape{128}, 44, 0.0f, 3.0f);
+  QTensor q = quantize_activations(x, 4);
+  for (std::int64_t i = 0; i < q.q.numel(); ++i) {
+    EXPECT_GE(q.q[i], 0);
+    EXPECT_LE(q.q[i], 15);
+  }
+  EXPECT_FALSE(q.is_signed);
+  EXPECT_EQ(q.qmin(), 0);
+}
+
+TEST(QuantizeActivations, NegativesClipToZero) {
+  Tensor x(Shape{2}, std::vector<float>{-1.0f, 1.0f});
+  QTensor q = quantize_activations(x, 4);
+  EXPECT_EQ(q.q[0], 0);
+  EXPECT_EQ(q.q[1], 15);
+}
+
+TEST(QuantizeActivations, ClipOverridesCalibration) {
+  Tensor x(Shape{2}, std::vector<float>{0.5f, 10.0f});
+  QTensor q = quantize_activations(x, 4, /*clip=*/1.0f);
+  EXPECT_FLOAT_EQ(q.scale, 1.0f / 15.0f);
+  EXPECT_EQ(q.q[1], 15);  // clipped to max code
+}
+
+TEST(QuantizeSigned, SymmetricRange) {
+  Tensor x(Shape{3}, std::vector<float>{-2.0f, 0.0f, 2.0f});
+  QTensor q = quantize_signed(x, 4);
+  EXPECT_EQ(q.q[0], -7);
+  EXPECT_EQ(q.q[1], 0);
+  EXPECT_EQ(q.q[2], 7);
+}
+
+TEST(FakeQuantize, ValuesLieOnGrid) {
+  Tensor x = random_tensor(Shape{64}, 5, 0.0f, 1.0f);
+  Tensor fq = fake_quantize_activations(x, 4);
+  // Every value must be an integer multiple of the scale (max/15).
+  float xmax = 0.0f;
+  for (std::int64_t i = 0; i < x.numel(); ++i) xmax = std::max(xmax, x[i]);
+  const float scale = xmax / 15.0f;
+  for (std::int64_t i = 0; i < fq.numel(); ++i) {
+    const float k = fq[i] / scale;
+    EXPECT_NEAR(k, std::nearbyint(k), 1e-4f);
+  }
+}
+
+TEST(FakeQuantize, SupportsInt16) {
+  Tensor x = random_tensor(Shape{64}, 6, 0.0f, 1.0f);
+  Tensor fq = fake_quantize_activations(x, 16);
+  EXPECT_LT(tensor::max_abs_diff(x, fq), 1.0f / 65535.0f + 1e-6f);
+  Tensor w = random_tensor(Shape{64}, 7, -1.0f, 1.0f);
+  Tensor fw = fake_quantize_weights(w, 16, WeightTransform::kLinear);
+  EXPECT_LT(tensor::max_abs_diff(w, fw), 1.0f / 32767.0f + 1e-6f);
+}
+
+TEST(FakeQuantize, RejectsBadBits) {
+  Tensor x(Shape{1}, 1.0f);
+  EXPECT_THROW(fake_quantize_activations(x, 17), std::invalid_argument);
+  EXPECT_THROW(fake_quantize_weights(x, 1, WeightTransform::kLinear),
+               std::invalid_argument);
+}
+
+TEST(PerChannelQuant, ScalesPerFilter) {
+  // Two filters with very different magnitudes: per-channel scales differ.
+  Tensor w(Shape{2, 1, 2, 2},
+           std::vector<float>{1.0f, -1.0f, 0.5f, 0.25f,    // filter 0
+                              0.01f, -0.02f, 0.015f, 0.005f});  // filter 1
+  QTensorPerChannel q = quantize_weights_per_channel(w, 4);
+  ASSERT_EQ(q.scales.size(), 2u);
+  EXPECT_GT(q.scales[0], 10.0f * q.scales[1]);
+}
+
+TEST(PerChannelQuant, BeatsPerTensorOnHeterogeneousFilters) {
+  util::Rng rng(77);
+  Tensor w(Shape{8, 4, 3, 3});
+  for (std::int64_t c = 0; c < 8; ++c) {
+    // Filter magnitudes span two orders of magnitude.
+    const float mag = 0.01f * std::pow(2.0f, static_cast<float>(c));
+    for (std::int64_t i = 0; i < 4 * 9; ++i) {
+      w[c * 36 + i] = rng.normal_f(0.0f, mag);
+    }
+  }
+  const float per_tensor_err = tensor::mean_abs_diff(
+      w, fake_quantize_weights(w, 4, WeightTransform::kLinear));
+  const float per_channel_err = tensor::mean_abs_diff(
+      w, fake_quantize_weights_per_channel(w, 4));
+  EXPECT_LT(per_channel_err, 0.5f * per_tensor_err);
+}
+
+TEST(PerChannelQuant, DequantizeMatchesFake) {
+  util::Rng rng(78);
+  Tensor w(Shape{3, 2, 3, 3});
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal_f(0, 0.3f);
+  QTensorPerChannel q = quantize_weights_per_channel(w, 4);
+  Tensor fq = fake_quantize_weights_per_channel(w, 4);
+  EXPECT_LT(tensor::max_abs_diff(q.dequantize(), fq), 1e-6f);
+}
+
+TEST(PerChannelQuant, CodesInRange) {
+  util::Rng rng(79);
+  Tensor w(Shape{4, 2, 3, 3});
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal_f(0, 0.5f);
+  for (int bits : {2, 4, 8}) {
+    QTensorPerChannel q = quantize_weights_per_channel(w, bits);
+    const std::int32_t qmax = (1 << (bits - 1)) - 1;
+    for (std::int64_t i = 0; i < q.q.numel(); ++i) {
+      EXPECT_GE(q.q[i], -qmax);
+      EXPECT_LE(q.q[i], qmax);
+    }
+  }
+}
+
+TEST(PerChannelQuant, RejectsBadInput) {
+  Tensor scalarish(Shape{4}, 1.0f);
+  EXPECT_THROW(quantize_weights_per_channel(scalarish, 4),
+               std::invalid_argument);
+  Tensor ok(Shape{2, 2}, 1.0f);
+  EXPECT_THROW(quantize_weights_per_channel(ok, 1), std::invalid_argument);
+}
+
+TEST(PerChannelQuant, ZeroFilterSafe) {
+  Tensor w(Shape{2, 1, 1, 2}, std::vector<float>{0.0f, 0.0f, 1.0f, -1.0f});
+  QTensorPerChannel q = quantize_weights_per_channel(w, 4);
+  EXPECT_EQ(q.q[0], 0);
+  EXPECT_EQ(q.q[1], 0);
+  EXPECT_GT(q.scales[0], 0.0f);
+}
+
+class BitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsSweep, DequantizeMatchesFakeQuantize) {
+  const int bits = GetParam();
+  Tensor x = random_tensor(Shape{128}, 10 + bits, 0.0f, 2.0f);
+  QTensor q = quantize_activations(x, bits);
+  Tensor fq = fake_quantize_activations(x, bits);
+  EXPECT_LT(tensor::max_abs_diff(q.dequantize(), fq), 1e-5f);
+}
+
+TEST_P(BitsSweep, WeightDequantizeMatchesFakeQuantize) {
+  const int bits = GetParam();
+  Tensor w = random_tensor(Shape{128}, 20 + bits, -1.5f, 1.5f);
+  QTensor q = quantize_weights(w, bits, WeightTransform::kLinear);
+  Tensor fq = fake_quantize_weights(w, bits, WeightTransform::kLinear);
+  EXPECT_LT(tensor::max_abs_diff(q.dequantize(), fq), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitsSweep, ::testing::Values(2, 3, 4, 6, 7));
+
+TEST(QuantizeActivations, RejectsEightBitCodes) {
+  Tensor x(Shape{4}, 0.5f);
+  EXPECT_THROW(quantize_activations(x, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odq::quant

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace odq::tensor {
+namespace {
+
+TEST(Im2col, ShapeIsNCkkOhw) {
+  Tensor x(Shape{2, 3, 8, 8});
+  Tensor cols = im2col(x, 3, 3, 1, 1);
+  EXPECT_EQ(cols.shape(), Shape({2, 3 * 3 * 3, 8 * 8}));
+}
+
+TEST(Im2col, OneByOneKernelIsReshape) {
+  util::Rng rng(1);
+  Tensor x(Shape{1, 2, 3, 3});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(-1, 1);
+  Tensor cols = im2col(x, 1, 1, 1, 0);
+  EXPECT_EQ(cols.shape(), Shape({1, 2, 9}));
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(cols[i], x[i]);
+}
+
+TEST(Im2col, PaddingIntroducesZeros) {
+  Tensor x(Shape{1, 1, 2, 2}, 1.0f);
+  Tensor cols = im2col(x, 3, 3, 1, 1);
+  // Top-left output position: kernel row 0 entirely in padding.
+  EXPECT_EQ(cols.shape(), Shape({1, 9, 4}));
+  EXPECT_FLOAT_EQ(cols.data()[0], 0.0f);   // (ki=0,kj=0) at output (0,0)
+  // Center tap at output (0,0) reads x(0,0).
+  const std::int64_t center_row = 4;       // ki=1,kj=1
+  EXPECT_FLOAT_EQ(cols.data()[center_row * 4 + 0], 1.0f);
+}
+
+TEST(Im2col, KernelLargerThanPaddedInputThrows) {
+  Tensor x(Shape{1, 1, 2, 2});
+  EXPECT_THROW(im2col(x, 5, 5, 1, 0), std::invalid_argument);
+}
+
+TEST(Im2col, RejectsNonNchw) {
+  Tensor x(Shape{4, 4});
+  EXPECT_THROW(im2col(x, 3, 3, 1, 1), std::invalid_argument);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining property of the adjoint,
+  // which is exactly what the conv backward pass relies on.
+  util::Rng rng(5);
+  Tensor x(Shape{1, 2, 5, 5});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(-1, 1);
+  Tensor cols = im2col(x, 3, 3, 1, 1);
+  Tensor y(cols.shape());
+  for (std::int64_t i = 0; i < y.numel(); ++i) y[i] = rng.uniform_f(-1, 1);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) lhs += cols[i] * y[i];
+  Tensor back = col2im(y, 2, 5, 5, 3, 3, 1, 1);
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Col2im, CountsOverlaps) {
+  // col2im of all-ones columns counts how many windows cover each pixel.
+  Tensor cols(Shape{1, 1 * 2 * 2, 2 * 2}, 1.0f);  // k=2, s=1, input 3x3
+  Tensor img = col2im(cols, 1, 3, 3, 2, 2, 1, 0);
+  // Center pixel covered by all four 2x2 windows.
+  EXPECT_FLOAT_EQ(img.at4(0, 0, 1, 1), 4.0f);
+  EXPECT_FLOAT_EQ(img.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(img.at4(0, 0, 0, 1), 2.0f);
+}
+
+TEST(Col2im, ShapeMismatchThrows) {
+  Tensor cols(Shape{1, 9, 16});
+  EXPECT_THROW(col2im(cols, 2, 5, 5, 3, 3, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odq::tensor

@@ -1,0 +1,53 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odq::tensor {
+namespace {
+
+TEST(Shape, DefaultIsScalarLike) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, InitializerList) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s.dim(2), 4);
+}
+
+TEST(Shape, FromVector) {
+  Shape s(std::vector<std::int64_t>{5, 7});
+  EXPECT_EQ(s.numel(), 35);
+}
+
+TEST(Shape, ZeroDimGivesZeroNumel) {
+  Shape s{3, 0, 2};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+}
+
+TEST(Shape, StringRendering) {
+  EXPECT_EQ(Shape({2, 3}).str(), "[2, 3]");
+  EXPECT_EQ(Shape{}.str(), "[]");
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  Shape s{2};
+  EXPECT_THROW(s.dim(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace odq::tensor

@@ -1,0 +1,86 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odq::tensor {
+namespace {
+
+TEST(Tensor, ConstructedZeroFilled) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillValueConstructor) {
+  Tensor t(Shape{4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataVectorConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, Index4RowMajorNCHW) {
+  Tensor t(Shape{2, 3, 4, 5});
+  EXPECT_EQ(t.index4(0, 0, 0, 0), 0);
+  EXPECT_EQ(t.index4(0, 0, 0, 1), 1);
+  EXPECT_EQ(t.index4(0, 0, 1, 0), 5);
+  EXPECT_EQ(t.index4(0, 1, 0, 0), 20);
+  EXPECT_EQ(t.index4(1, 0, 0, 0), 60);
+  EXPECT_EQ(t.index4(1, 2, 3, 4), 119);
+}
+
+TEST(Tensor, At4ReadsAndWrites) {
+  Tensor t(Shape{1, 2, 2, 2});
+  t.at4(0, 1, 1, 0) = 7.0f;
+  EXPECT_EQ(t[t.index4(0, 1, 1, 0)], 7.0f);
+}
+
+TEST(Tensor, At2MatrixAccess) {
+  Tensor t(Shape{3, 4});
+  t.at2(2, 1) = 9.0f;
+  EXPECT_EQ(t[2 * 4 + 1], 9.0f);
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t(Shape{5}, 1.0f);
+  t.fill(3.0f);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 3.0f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], t[i]);
+}
+
+TEST(Tensor, ReshapedRejectsSizeMismatch) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, EmptyDefault) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, IntegerVariants) {
+  TensorI8 a(Shape{3}, std::int8_t{-5});
+  TensorI32 b(Shape{3}, 100000);
+  TensorU8 c(Shape{3}, std::uint8_t{200});
+  EXPECT_EQ(a[0], -5);
+  EXPECT_EQ(b[1], 100000);
+  EXPECT_EQ(c[2], 200);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(Shape{2});
+  EXPECT_THROW(t.at(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace odq::tensor

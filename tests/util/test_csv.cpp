@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace odq::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "odq_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"layer", "value"});
+    csv.row("C1", 0.5);
+    csv.row("C2", 1);
+  }
+  EXPECT_EQ(read_file(path_), "layer,value\nC1,0.5\nC2,1\n");
+}
+
+TEST_F(CsvTest, MixedFieldTypes) {
+  {
+    CsvWriter csv(path_, {"a", "b", "c"});
+    csv.row(1, 2.5, "x");
+  }
+  EXPECT_EQ(read_file(path_), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(Csv, DefaultConstructedIsNoop) {
+  CsvWriter csv;
+  EXPECT_FALSE(csv.is_open());
+  csv.row(1, 2, 3);  // must not crash
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/out.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odq::util

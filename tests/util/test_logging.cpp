@@ -1,0 +1,42 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odq::util {
+namespace {
+
+TEST(Logging, ParseKnownLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST(Logging, UnknownLevelDefaultsToInfo) {
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST(Logging, SetLevelRoundTrips) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(prev);
+}
+
+TEST(Logging, MacroRespectsLevel) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  // Should be a no-op and must not crash formatting.
+  ODQ_LOG_INFO("suppressed %d", 42);
+  ODQ_LOG_ERROR("suppressed %s", "too");
+  set_log_level(prev);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace odq::util

@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace odq::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ParallelFor, CoversFullRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&hits](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroAndNegative) {
+  int calls = 0;
+  parallel_for(0, [&calls](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(-5, [&calls](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  // n <= grain must execute on the caller thread as a single chunk.
+  int chunks = 0;
+  parallel_for(
+      10,
+      [&chunks](std::int64_t b, std::int64_t e) {
+        ++chunks;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 10);
+      },
+      /*grain=*/64);
+  EXPECT_EQ(chunks, 1);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  std::atomic<std::int64_t> total{0};
+  parallel_for(
+      100000,
+      [&total](std::int64_t b, std::int64_t e) {
+        std::int64_t local = 0;
+        for (std::int64_t i = b; i < e; ++i) local += i;
+        total.fetch_add(local);
+      },
+      /*grain=*/128);
+  EXPECT_EQ(total.load(), 100000LL * 99999 / 2);
+}
+
+}  // namespace
+}  // namespace odq::util
