@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cyclesim_validation.dir/bench/bench_cyclesim_validation.cpp.o"
+  "CMakeFiles/bench_cyclesim_validation.dir/bench/bench_cyclesim_validation.cpp.o.d"
+  "bench/bench_cyclesim_validation"
+  "bench/bench_cyclesim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cyclesim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_lowprec_inputs.dir/bench/bench_fig02_lowprec_inputs.cpp.o"
+  "CMakeFiles/bench_fig02_lowprec_inputs.dir/bench/bench_fig02_lowprec_inputs.cpp.o.d"
+  "bench/bench_fig02_lowprec_inputs"
+  "bench/bench_fig02_lowprec_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_lowprec_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

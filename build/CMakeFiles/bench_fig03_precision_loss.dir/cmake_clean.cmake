@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_precision_loss.dir/bench/bench_fig03_precision_loss.cpp.o"
+  "CMakeFiles/bench_fig03_precision_loss.dir/bench/bench_fig03_precision_loss.cpp.o.d"
+  "bench/bench_fig03_precision_loss"
+  "bench/bench_fig03_precision_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_precision_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_highprec_inputs.dir/bench/bench_fig04_highprec_inputs.cpp.o"
+  "CMakeFiles/bench_fig04_highprec_inputs.dir/bench/bench_fig04_highprec_inputs.cpp.o.d"
+  "bench/bench_fig04_highprec_inputs"
+  "bench/bench_fig04_highprec_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_highprec_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_computation_waste.dir/bench/bench_fig05_computation_waste.cpp.o"
+  "CMakeFiles/bench_fig05_computation_waste.dir/bench/bench_fig05_computation_waste.cpp.o.d"
+  "bench/bench_fig05_computation_waste"
+  "bench/bench_fig05_computation_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_computation_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_10_insensitive.dir/bench/bench_fig09_10_insensitive.cpp.o"
+  "CMakeFiles/bench_fig09_10_insensitive.dir/bench/bench_fig09_10_insensitive.cpp.o.d"
+  "bench/bench_fig09_10_insensitive"
+  "bench/bench_fig09_10_insensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_10_insensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

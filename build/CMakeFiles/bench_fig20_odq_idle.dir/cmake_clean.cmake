@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_odq_idle.dir/bench/bench_fig20_odq_idle.cpp.o"
+  "CMakeFiles/bench_fig20_odq_idle.dir/bench/bench_fig20_odq_idle.cpp.o.d"
+  "bench/bench_fig20_odq_idle"
+  "bench/bench_fig20_odq_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_odq_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

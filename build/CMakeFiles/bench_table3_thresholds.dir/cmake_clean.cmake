@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_thresholds.dir/bench/bench_table3_thresholds.cpp.o"
+  "CMakeFiles/bench_table3_thresholds.dir/bench/bench_table3_thresholds.cpp.o.d"
+  "bench/bench_table3_thresholds"
+  "bench/bench_table3_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

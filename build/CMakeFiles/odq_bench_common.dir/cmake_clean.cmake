@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odq_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/odq_bench_common.dir/bench/common.cpp.o.d"
+  "libodq_bench_common.a"
+  "libodq_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odq_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_design_space.dir/accelerator_design_space.cpp.o"
+  "CMakeFiles/accelerator_design_space.dir/accelerator_design_space.cpp.o.d"
+  "accelerator_design_space"
+  "accelerator_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

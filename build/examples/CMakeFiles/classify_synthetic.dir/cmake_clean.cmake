@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_synthetic.dir/classify_synthetic.cpp.o"
+  "CMakeFiles/classify_synthetic.dir/classify_synthetic.cpp.o.d"
+  "classify_synthetic"
+  "classify_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

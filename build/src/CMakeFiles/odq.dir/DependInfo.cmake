@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/allocation.cpp" "src/CMakeFiles/odq.dir/accel/allocation.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/allocation.cpp.o.d"
+  "/root/repo/src/accel/config.cpp" "src/CMakeFiles/odq.dir/accel/config.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/config.cpp.o.d"
+  "/root/repo/src/accel/cyclesim/crossbar.cpp" "src/CMakeFiles/odq.dir/accel/cyclesim/crossbar.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/cyclesim/crossbar.cpp.o.d"
+  "/root/repo/src/accel/cyclesim/dram_channel.cpp" "src/CMakeFiles/odq.dir/accel/cyclesim/dram_channel.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/cyclesim/dram_channel.cpp.o.d"
+  "/root/repo/src/accel/cyclesim/layer_engine.cpp" "src/CMakeFiles/odq.dir/accel/cyclesim/layer_engine.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/cyclesim/layer_engine.cpp.o.d"
+  "/root/repo/src/accel/cyclesim/line_buffer.cpp" "src/CMakeFiles/odq.dir/accel/cyclesim/line_buffer.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/cyclesim/line_buffer.cpp.o.d"
+  "/root/repo/src/accel/cyclesim/pe_array.cpp" "src/CMakeFiles/odq.dir/accel/cyclesim/pe_array.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/cyclesim/pe_array.cpp.o.d"
+  "/root/repo/src/accel/scheduler.cpp" "src/CMakeFiles/odq.dir/accel/scheduler.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/scheduler.cpp.o.d"
+  "/root/repo/src/accel/simulator.cpp" "src/CMakeFiles/odq.dir/accel/simulator.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/simulator.cpp.o.d"
+  "/root/repo/src/accel/workload.cpp" "src/CMakeFiles/odq.dir/accel/workload.cpp.o" "gcc" "src/CMakeFiles/odq.dir/accel/workload.cpp.o.d"
+  "/root/repo/src/core/odq.cpp" "src/CMakeFiles/odq.dir/core/odq.cpp.o" "gcc" "src/CMakeFiles/odq.dir/core/odq.cpp.o.d"
+  "/root/repo/src/core/threshold_search.cpp" "src/CMakeFiles/odq.dir/core/threshold_search.cpp.o" "gcc" "src/CMakeFiles/odq.dir/core/threshold_search.cpp.o.d"
+  "/root/repo/src/data/augment.cpp" "src/CMakeFiles/odq.dir/data/augment.cpp.o" "gcc" "src/CMakeFiles/odq.dir/data/augment.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/odq.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/odq.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/drq/drq.cpp" "src/CMakeFiles/odq.dir/drq/drq.cpp.o" "gcc" "src/CMakeFiles/odq.dir/drq/drq.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/odq.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/odq.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/blocks.cpp" "src/CMakeFiles/odq.dir/nn/blocks.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/blocks.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/odq.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/odq.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/odq.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/odq.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/odq.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/CMakeFiles/odq.dir/nn/models.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/models.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/odq.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/summary.cpp" "src/CMakeFiles/odq.dir/nn/summary.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/summary.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/odq.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/odq.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/quant/bitsplit.cpp" "src/CMakeFiles/odq.dir/quant/bitsplit.cpp.o" "gcc" "src/CMakeFiles/odq.dir/quant/bitsplit.cpp.o.d"
+  "/root/repo/src/quant/packing.cpp" "src/CMakeFiles/odq.dir/quant/packing.cpp.o" "gcc" "src/CMakeFiles/odq.dir/quant/packing.cpp.o.d"
+  "/root/repo/src/quant/qmodel_io.cpp" "src/CMakeFiles/odq.dir/quant/qmodel_io.cpp.o" "gcc" "src/CMakeFiles/odq.dir/quant/qmodel_io.cpp.o.d"
+  "/root/repo/src/quant/quantizer.cpp" "src/CMakeFiles/odq.dir/quant/quantizer.cpp.o" "gcc" "src/CMakeFiles/odq.dir/quant/quantizer.cpp.o.d"
+  "/root/repo/src/quant/static_executor.cpp" "src/CMakeFiles/odq.dir/quant/static_executor.cpp.o" "gcc" "src/CMakeFiles/odq.dir/quant/static_executor.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/odq.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/odq.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/odq.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/odq.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/odq.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/odq.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/odq.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/odq.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/odq.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/odq.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

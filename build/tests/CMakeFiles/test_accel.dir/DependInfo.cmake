@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel/test_allocation.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_allocation.cpp.o.d"
+  "/root/repo/tests/accel/test_cyclesim.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_cyclesim.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_cyclesim.cpp.o.d"
+  "/root/repo/tests/accel/test_energy.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_energy.cpp.o.d"
+  "/root/repo/tests/accel/test_scheduler.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_scheduler.cpp.o.d"
+  "/root/repo/tests/accel/test_simulator.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_simulator.cpp.o.d"
+  "/root/repo/tests/accel/test_workload.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

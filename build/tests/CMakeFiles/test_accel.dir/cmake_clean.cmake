@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/accel/test_allocation.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_allocation.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_cyclesim.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_cyclesim.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_energy.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_energy.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_scheduler.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_simulator.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_simulator.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_workload.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_workload.cpp.o.d"
+  "test_accel"
+  "test_accel.pdb"
+  "test_accel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

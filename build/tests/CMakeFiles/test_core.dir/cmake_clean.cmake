@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_odq.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_odq.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_odq_invariants.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_odq_invariants.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_odq_precisions.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_odq_precisions.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_threshold_search.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_threshold_search.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drq.dir/drq/test_analysis.cpp.o"
+  "CMakeFiles/test_drq.dir/drq/test_analysis.cpp.o.d"
+  "CMakeFiles/test_drq.dir/drq/test_drq.cpp.o"
+  "CMakeFiles/test_drq.dir/drq/test_drq.cpp.o.d"
+  "test_drq"
+  "test_drq.pdb"
+  "test_drq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

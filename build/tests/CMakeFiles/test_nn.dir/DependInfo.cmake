@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_blocks.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_blocks.cpp.o.d"
+  "/root/repo/tests/nn/test_gradients.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_gradients.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_gradients.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_models.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_models.cpp.o.d"
+  "/root/repo/tests/nn/test_serialization.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_serialization.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_serialization.cpp.o.d"
+  "/root/repo/tests/nn/test_summary.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_summary.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_summary.cpp.o.d"
+  "/root/repo/tests/nn/test_training.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_training.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_blocks.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_blocks.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_gradients.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_gradients.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_models.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_models.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_serialization.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_serialization.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_summary.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_summary.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_training.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_training.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quant/test_bitsplit.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_bitsplit.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_bitsplit.cpp.o.d"
+  "/root/repo/tests/quant/test_conv_i8.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_conv_i8.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_conv_i8.cpp.o.d"
+  "/root/repo/tests/quant/test_packing.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_packing.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_packing.cpp.o.d"
+  "/root/repo/tests/quant/test_qmodel_io.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_qmodel_io.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_qmodel_io.cpp.o.d"
+  "/root/repo/tests/quant/test_quantizer.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_quantizer.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_quantizer.cpp.o.d"
+  "/root/repo/tests/quant/test_static_executor.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_static_executor.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_static_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant.dir/quant/test_bitsplit.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_bitsplit.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_conv_i8.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_conv_i8.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_packing.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_packing.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_qmodel_io.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_qmodel_io.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_quantizer.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_quantizer.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_static_executor.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_static_executor.cpp.o.d"
+  "test_quant"
+  "test_quant.pdb"
+  "test_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odq_cli.dir/odq_cli.cpp.o"
+  "CMakeFiles/odq_cli.dir/odq_cli.cpp.o.d"
+  "odq_cli"
+  "odq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
