@@ -1,9 +1,48 @@
 // Figure 19: normalized execution time of the four DNNs on the four
 // Table-2 accelerators (INT16 DoReFa, INT8 DoReFa, DRQ, ODQ).
+//
+// Also reports host wall-clock for the software ODQ pipeline itself
+// (serial reference vs the tiled thread-pool path), since the simulated
+// cycle counts say nothing about how fast this repo executes.
 #include <cstdio>
 
 #include "accel/simulator.hpp"
 #include "common.hpp"
+#include "core/odq.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+// Batch-8 quick-scale ResNet-20-ish conv stack (16-ch 16x16 + 32-ch 8x8),
+// the shape EXPERIMENTS.md quotes for the host hot-path numbers.
+double time_host_pipeline(const odq::core::OdqConfig& cfg) {
+  using namespace odq;
+  util::Rng rng(1);
+  auto acts = [&](tensor::Shape s) {
+    tensor::Tensor t(std::move(s));
+    for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(0, 1);
+    return t;
+  };
+  auto wts = [&](tensor::Shape s) {
+    tensor::Tensor t(std::move(s));
+    for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal_f(0, 0.3f);
+    return t;
+  };
+  tensor::Tensor x1 = acts({8, 16, 16, 16}), w1 = wts({16, 16, 3, 3});
+  tensor::Tensor x2 = acts({8, 32, 8, 8}), w2 = wts({32, 32, 3, 3});
+  tensor::Tensor bias;
+  (void)core::odq_conv_float(x1, w1, bias, 1, 1, cfg);  // warm-up
+  util::WallTimer t;
+  for (int i = 0; i < 10; ++i) {
+    (void)core::odq_conv_float(x1, w1, bias, 1, 1, cfg);
+    (void)core::odq_conv_float(x2, w2, bias, 1, 1, cfg);
+  }
+  return t.seconds();
+}
+
+}  // namespace
 
 int main() {
   using namespace odq;
@@ -49,5 +88,18 @@ int main() {
               "67.6%%)\n",
               100.0 * sum_vs16 / n, 100.0 * sum_vs8 / n,
               100.0 * sum_vsdrq / n);
+
+  std::printf("\nHost wall-clock — ODQ software pipeline, 20 batch-8 convs "
+              "(threshold %.2f):\n", 0.15);
+  core::OdqConfig host_cfg;
+  host_cfg.threshold = 0.15f;
+  host_cfg.num_threads = 1;
+  const double serial_s = time_host_pipeline(host_cfg);
+  host_cfg.num_threads = 0;
+  const double pooled_s = time_host_pipeline(host_cfg);
+  std::printf("%-28s %.3f s\n", "serial reference", serial_s);
+  std::printf("%-20s (%zu thr) %.3f s  (%.2fx)\n", "tiled thread pool",
+              util::ThreadPool::global().size(), pooled_s,
+              serial_s / pooled_s);
   return 0;
 }

@@ -5,33 +5,9 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
-#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace odq::core {
-
-namespace {
-
-// Quantize activations per the config: max calibration, or clipping at the
-// configured quantile of the (non-negative) activation distribution.
-quant::QTensor quantize_input(const tensor::Tensor& input,
-                              const OdqConfig& cfg) {
-  float clip = -1.0f;
-  if (cfg.act_clip_percentile > 0.0f && input.numel() > 0) {
-    std::vector<float> mags;
-    const std::int64_t stride =
-        std::max<std::int64_t>(1, input.numel() / 4096);
-    mags.reserve(static_cast<std::size_t>(input.numel() / stride) + 1);
-    for (std::int64_t i = 0; i < input.numel(); i += stride) {
-      mags.push_back(input[i] > 0.0f ? input[i] : 0.0f);
-    }
-    clip = static_cast<float>(util::percentile(
-        std::move(mags), static_cast<double>(cfg.act_clip_percentile)));
-    if (clip <= 0.0f) clip = -1.0f;  // degenerate: fall back to max
-  }
-  return quant::quantize_activations(input, cfg.total_bits, clip);
-}
-
-}  // namespace
 
 using quant::QTensor;
 using tensor::Shape;
@@ -40,12 +16,56 @@ using tensor::TensorI32;
 using tensor::TensorI8;
 using tensor::TensorU8;
 
-OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
-                       std::int64_t stride, std::int64_t pad,
-                       const OdqConfig& cfg) {
+namespace {
+
+// Quantize activations per the config: max calibration, or clipping at the
+// configured quantile of the (non-negative) activation distribution.
+QTensor quantize_input(const Tensor& input, const OdqConfig& cfg) {
+  const float clip =
+      quant::activation_clip_from_percentile(input, cfg.act_clip_percentile);
+  return quant::quantize_activations(input, cfg.total_bits, clip);
+}
+
+// Dequantize integer accumulators and add the per-channel bias, tiled over
+// (batch, channel) planes on the pool. Each plane is written by exactly one
+// tile, so tiles are independent.
+Tensor dequantize_with_bias(const TensorI32& acc, float scale,
+                            const Tensor& bias) {
+  Tensor out(acc.shape());
+  const Shape& s = acc.shape();
+  const std::int64_t oc = s[1], ohw = s[2] * s[3];
+  const std::int32_t* src = acc.data();
+  float* dst = out.data();
+  const float* bp = bias.empty() ? nullptr : bias.data();
+  util::parallel_for(
+      s[0] * oc,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const float bv = bp != nullptr ? bp[t % oc] : 0.0f;
+          const std::int32_t* a = src + t * ohw;
+          float* o = dst + t * ohw;
+          for (std::int64_t i = 0; i < ohw; ++i) {
+            o[i] = static_cast<float>(a[i]) * scale + bv;
+          }
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+void check_bits(const QTensor& input, const QTensor& weight,
+                const OdqConfig& cfg) {
   if (input.bits != cfg.total_bits || weight.bits != cfg.total_bits) {
     throw std::invalid_argument("odq_conv: tensors must be total_bits wide");
   }
+}
+
+}  // namespace
+
+OdqConvResult odq_conv_reference(const QTensor& input, const QTensor& weight,
+                                 std::int64_t stride, std::int64_t pad,
+                                 const OdqConfig& cfg) {
+  check_bits(input, weight, cfg);
   const int lb = cfg.low_bits;
 
   // Step 2: bit split.
@@ -139,6 +159,156 @@ OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
   return res;
 }
 
+OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
+                       std::int64_t stride, std::int64_t pad,
+                       const OdqConfig& cfg) {
+  if (cfg.num_threads == 1) {
+    return odq_conv_reference(input, weight, stride, pad, cfg);
+  }
+  check_bits(input, weight, cfg);
+  const int lb = cfg.low_bits;
+
+  // Step 2: bit split.
+  quant::SplitTensor in_split = quant::split(input, lb);
+  quant::SplitTensor w_split = quant::split(weight, lb);
+
+  const Shape& is = input.q.shape();
+  const Shape& ws = weight.q.shape();
+  const std::int64_t n = is[0];
+  const std::int64_t c = is[1], h = is[2], w = is[3];
+  const std::int64_t oc = ws[0], kh = ws[2], kw = ws[3];
+  const std::int64_t oh = tensor::conv_out_dim(h, kh, stride, pad);
+  const std::int64_t ow = tensor::conv_out_dim(w, kw, stride, pad);
+  const std::int64_t ohw = oh * ow;
+
+  // Step 3: sensitivity prediction — I_HBS x W_HBS shifted by 2*low_bits.
+  OdqConvResult res;
+  res.scale = input.scale * weight.scale;
+  res.predictor_acc =
+      quant::conv2d_i8_fast(in_split.high, w_split.high, stride, pad);
+  {
+    std::int32_t* p = res.predictor_acc.data();
+    util::parallel_for(
+        res.predictor_acc.numel(),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) p[i] <<= 2 * lb;
+        },
+        /*grain=*/1 << 15);
+  }
+
+  // Steps 3b+4, fused: one pass over (batch, out-channel) tiles computes the
+  // threshold mask and, for sensitive outputs, immediately adds the three
+  // remaining Eq. (3) terms. Every tile owns disjoint mask/acc planes, and
+  // sensitive/MAC counters are per-tile, reduced serially afterwards — no
+  // atomics anywhere in the inner loop.
+  res.acc = res.predictor_acc;
+  res.mask = TensorU8(Shape{n, oc, oh, ow});
+  res.sensitive_per_channel.assign(static_cast<std::size_t>(oc), 0);
+
+  const std::int64_t tiles = n * oc;
+  std::vector<std::int64_t> tile_sensitive(static_cast<std::size_t>(tiles), 0);
+  std::vector<std::int64_t> tile_macs(static_cast<std::size_t>(tiles), 0);
+
+  const std::int8_t* ih = in_split.high.data();
+  const std::int8_t* il = in_split.low.data();
+  const std::int8_t* wh = w_split.high.data();
+  const std::int8_t* wl = w_split.low.data();
+  const std::int32_t* pred_base = res.predictor_acc.data();
+  std::int32_t* acc_base = res.acc.data();
+  std::uint8_t* mask_base = res.mask.data();
+  const float scale = res.scale;
+  const float thr = cfg.threshold;
+
+  util::parallel_for(
+      tiles,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / oc;
+          const std::int64_t och = t % oc;
+          const std::int32_t* pred = pred_base + t * ohw;
+          std::int32_t* acc = acc_base + t * ohw;
+          std::uint8_t* mask = mask_base + t * ohw;
+          // Input-plane and weight-row bases for this tile; the ic loops
+          // below only advance them by fixed strides.
+          const std::int8_t* ih_tile = ih + b * c * h * w;
+          const std::int8_t* il_tile = il + b * c * h * w;
+          const std::int8_t* wh_tile = wh + och * c * kh * kw;
+          const std::int8_t* wl_tile = wl + och * c * kh * kw;
+          std::int64_t sens_count = 0;
+          std::int64_t macs = 0;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            // Valid kernel-row window for this output row: fully padded
+            // rows are skipped here, once per row, not per inner MAC.
+            const std::int64_t iy0 = oy * stride - pad;
+            const std::int64_t ki_lo = std::max<std::int64_t>(0, -iy0);
+            const std::int64_t ki_hi = std::min(kh, h - iy0);
+            const std::int64_t ki_n = std::max<std::int64_t>(0, ki_hi - ki_lo);
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t i = oy * ow + ox;
+              const float mag =
+                  std::abs(static_cast<float>(pred[i]) * scale);
+              const bool sens = mag >= thr;
+              mask[i] = sens ? 1 : 0;
+              if (!sens) continue;
+              ++sens_count;
+              const std::int64_t ix0 = ox * stride - pad;
+              const std::int64_t kj_lo = std::max<std::int64_t>(0, -ix0);
+              const std::int64_t kj_hi = std::min(kw, w - ix0);
+              const std::int64_t kj_n =
+                  std::max<std::int64_t>(0, kj_hi - kj_lo);
+              macs += c * ki_n * kj_n;
+              std::int32_t cross = 0;  // ih*wl + il*wh
+              std::int32_t low = 0;    // il*wl
+              const std::int8_t* ih_ch = ih_tile;
+              const std::int8_t* il_ch = il_tile;
+              const std::int8_t* wh_ch = wh_tile;
+              const std::int8_t* wl_ch = wl_tile;
+              for (std::int64_t ic = 0; ic < c; ++ic) {
+                for (std::int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+                  const std::int64_t row = (iy0 + ki) * w + ix0;
+                  const std::int8_t* ihr = ih_ch + row;
+                  const std::int8_t* ilr = il_ch + row;
+                  const std::int8_t* whr = wh_ch + ki * kw;
+                  const std::int8_t* wlr = wl_ch + ki * kw;
+                  for (std::int64_t kj = kj_lo; kj < kj_hi; ++kj) {
+                    const std::int32_t a_h = ihr[kj];
+                    const std::int32_t a_l = ilr[kj];
+                    cross += a_h * wlr[kj] + a_l * whr[kj];
+                    low += a_l * wlr[kj];
+                  }
+                }
+                ih_ch += h * w;
+                il_ch += h * w;
+                wh_ch += kh * kw;
+                wl_ch += kh * kw;
+              }
+              acc[i] += (cross << lb) + low;
+            }
+          }
+          tile_sensitive[static_cast<std::size_t>(t)] = sens_count;
+          tile_macs[static_cast<std::size_t>(t)] = macs;
+        }
+      },
+      /*grain=*/1);
+
+  // Serial reduction of the per-tile counters.
+  std::int64_t sensitive = 0;
+  std::int64_t exec_macs = 0;
+  for (std::int64_t t = 0; t < tiles; ++t) {
+    sensitive += tile_sensitive[static_cast<std::size_t>(t)];
+    exec_macs += tile_macs[static_cast<std::size_t>(t)];
+    res.sensitive_per_channel[static_cast<std::size_t>(t % oc)] +=
+        tile_sensitive[static_cast<std::size_t>(t)];
+  }
+
+  res.stats.calls = 1;
+  res.stats.outputs = n * oc * oh * ow;
+  res.stats.sensitive = sensitive;
+  res.stats.predictor_macs = res.stats.outputs * c * kh * kw;
+  res.stats.executor_macs = exec_macs;
+  return res;
+}
+
 Tensor odq_conv_float(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, std::int64_t stride, std::int64_t pad,
                       const OdqConfig& cfg, OdqLayerStats* stats,
@@ -148,21 +318,7 @@ Tensor odq_conv_float(const Tensor& input, const Tensor& weight,
                                        cfg.weight_transform);
   OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg);
 
-  Tensor out(r.acc.shape());
-  for (std::int64_t i = 0; i < r.acc.numel(); ++i) {
-    out[i] = static_cast<float>(r.acc[i]) * r.scale;
-  }
-  if (!bias.empty()) {
-    const Shape& s = out.shape();
-    const std::int64_t n = s[0], oc = s[1], ohw = s[2] * s[3];
-    for (std::int64_t b = 0; b < n; ++b) {
-      for (std::int64_t ch = 0; ch < oc; ++ch) {
-        float* p = out.data() + (b * oc + ch) * ohw;
-        const float bv = bias[ch];
-        for (std::int64_t i = 0; i < ohw; ++i) p[i] += bv;
-      }
-    }
-  }
+  Tensor out = dequantize_with_bias(r.acc, r.scale, bias);
   if (stats != nullptr) *stats = r.stats;
   if (mask_out != nullptr) *mask_out = std::move(r.mask);
   return out;
@@ -176,19 +332,20 @@ Tensor OdqConvExecutor::run(const Tensor& input, const Tensor& weight,
       quant::quantize_weights(weight, cfg_.total_bits, cfg_.weight_transform);
   OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg_);
 
-  Tensor out(r.acc.shape());
-  for (std::int64_t i = 0; i < r.acc.numel(); ++i) {
-    out[i] = static_cast<float>(r.acc[i]) * r.scale;
-  }
-  if (!bias.empty()) {
-    const Shape& s = out.shape();
-    const std::int64_t n = s[0], oc = s[1], ohw = s[2] * s[3];
-    for (std::int64_t b = 0; b < n; ++b) {
-      for (std::int64_t ch = 0; ch < oc; ++ch) {
-        float* p = out.data() + (b * oc + ch) * ohw;
-        const float bv = bias[ch];
-        for (std::int64_t i = 0; i < ohw; ++i) p[i] += bv;
-      }
+  Tensor out = dequantize_with_bias(r.acc, r.scale, bias);
+
+  // Calibration subsampling happens in a call-local buffer; the shared
+  // state below is only touched under one short lock (concurrent run()
+  // callers would otherwise serialize on the sampling loop).
+  std::vector<float> local_samples;
+  if (calibrate_) {
+    const std::int64_t stride_s =
+        std::max<std::int64_t>(1, r.predictor_acc.numel() / 512);
+    local_samples.reserve(
+        static_cast<std::size_t>(r.predictor_acc.numel() / stride_s) + 1);
+    for (std::int64_t i = 0; i < r.predictor_acc.numel(); i += stride_s) {
+      local_samples.push_back(
+          std::abs(static_cast<float>(r.predictor_acc[i]) * r.scale));
     }
   }
 
@@ -201,15 +358,8 @@ Tensor OdqConvExecutor::run(const Tensor& input, const Tensor& weight,
     }
     stats_[id].merge(r.stats);
     last_channel_counts_[id] = std::move(r.sensitive_per_channel);
-    if (calibrate_) {
-      // Subsample predictor magnitudes (cap per call to bound memory).
-      const std::int64_t stride_s =
-          std::max<std::int64_t>(1, r.predictor_acc.numel() / 512);
-      for (std::int64_t i = 0; i < r.predictor_acc.numel(); i += stride_s) {
-        calib_samples_.push_back(
-            std::abs(static_cast<float>(r.predictor_acc[i]) * r.scale));
-      }
-    }
+    calib_samples_.insert(calib_samples_.end(), local_samples.begin(),
+                          local_samples.end());
   }
   return out;
 }

@@ -45,6 +45,13 @@ struct OdqConfig {
   // across the range the way DoReFa's fixed [0,1] clip does. Values above
   // the clip saturate at the top code.
   float act_clip_percentile = -1.0f;
+  // Execution threading. 0 (default) runs the tiled pipeline on the global
+  // util::ThreadPool (pool size: ODQ_THREADS env var, else hardware
+  // concurrency); 1 forces the serial reference implementation
+  // (odq_conv_reference), the oracle the parallel-equivalence tests compare
+  // against. Both paths are bit-exact on integer accumulators, so the
+  // choice never affects results — only scheduling.
+  int num_threads = 0;
 };
 
 struct OdqLayerStats {
@@ -82,9 +89,19 @@ struct OdqConvResult {
 
 // Core integer pipeline on already-quantized tensors. `input` must be an
 // unsigned QTensor with `cfg.total_bits` bits, `weight` a signed one.
+// Runs the fused mask+executor passes tiled over (batch, out-channel) on
+// the global thread pool unless cfg.num_threads == 1.
 OdqConvResult odq_conv(const quant::QTensor& input,
                        const quant::QTensor& weight, std::int64_t stride,
                        std::int64_t pad, const OdqConfig& cfg);
+
+// Serial scalar reference for odq_conv: separate mask and result-generation
+// passes, no tiling, no pool. Kept as the oracle for the parallel path
+// (tests/core/test_odq_parallel.cpp asserts bit-exact agreement).
+OdqConvResult odq_conv_reference(const quant::QTensor& input,
+                                 const quant::QTensor& weight,
+                                 std::int64_t stride, std::int64_t pad,
+                                 const OdqConfig& cfg);
 
 // Float-facing wrapper: quantizes, runs odq_conv, dequantizes, applies bias.
 tensor::Tensor odq_conv_float(const tensor::Tensor& input,
@@ -121,6 +138,8 @@ class OdqConvExecutor : public nn::ConvExecutor {
 
   // When enabled, keeps per-layer predictor-magnitude samples so a caller
   // can pick an initial threshold from the output distribution (§3).
+  // Toggle before starting concurrent run() callers — the flag itself is
+  // read outside the stats lock on the hot path.
   void enable_calibration(bool on) { calibrate_ = on; }
   std::vector<float> calibration_samples() const;
 

@@ -7,6 +7,7 @@
 #include "quant/quantizer.hpp"
 #include "tensor/ops.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace odq::drq {
 
@@ -22,30 +23,37 @@ TensorU8 input_sensitivity_mask(const Tensor& input, const DrqConfig& cfg) {
   const std::int64_t n = s[0], c = s[1], h = s[2], w = s[3];
   const std::int64_t r = cfg.region;
   TensorU8 mask(s);
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t ry = 0; ry < h; ry += r) {
-        for (std::int64_t rx = 0; rx < w; rx += r) {
-          const std::int64_t ye = std::min(ry + r, h);
-          const std::int64_t xe = std::min(rx + r, w);
-          double acc = 0.0;
-          for (std::int64_t y = ry; y < ye; ++y) {
-            for (std::int64_t x = rx; x < xe; ++x) {
-              acc += std::abs(input.at4(b, ch, y, x));
-            }
-          }
-          const double mean =
-              acc / static_cast<double>((ye - ry) * (xe - rx));
-          const std::uint8_t bit = mean > cfg.input_threshold ? 1 : 0;
-          for (std::int64_t y = ry; y < ye; ++y) {
-            for (std::int64_t x = rx; x < xe; ++x) {
-              mask.at4(b, ch, y, x) = bit;
+  // One tile per (batch, channel) plane — regions never straddle planes, so
+  // tiles write disjoint mask ranges.
+  util::parallel_for(
+      n * c,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / c;
+          const std::int64_t ch = t % c;
+          for (std::int64_t ry = 0; ry < h; ry += r) {
+            for (std::int64_t rx = 0; rx < w; rx += r) {
+              const std::int64_t ye = std::min(ry + r, h);
+              const std::int64_t xe = std::min(rx + r, w);
+              double acc = 0.0;
+              for (std::int64_t y = ry; y < ye; ++y) {
+                for (std::int64_t x = rx; x < xe; ++x) {
+                  acc += std::abs(input.at4(b, ch, y, x));
+                }
+              }
+              const double mean =
+                  acc / static_cast<double>((ye - ry) * (xe - rx));
+              const std::uint8_t bit = mean > cfg.input_threshold ? 1 : 0;
+              for (std::int64_t y = ry; y < ye; ++y) {
+                for (std::int64_t x = rx; x < xe; ++x) {
+                  mask.at4(b, ch, y, x) = bit;
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return mask;
 }
 
@@ -54,24 +62,37 @@ float calibrate_input_threshold(const Tensor& input, const DrqConfig& cfg,
   const Shape& s = input.shape();
   const std::int64_t n = s[0], c = s[1], h = s[2], w = s[3];
   const std::int64_t r = cfg.region;
-  std::vector<double> means;
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t ry = 0; ry < h; ry += r) {
-        for (std::int64_t rx = 0; rx < w; rx += r) {
-          const std::int64_t ye = std::min(ry + r, h);
-          const std::int64_t xe = std::min(rx + r, w);
-          double acc = 0.0;
-          for (std::int64_t y = ry; y < ye; ++y) {
-            for (std::int64_t x = rx; x < xe; ++x) {
-              acc += std::abs(input.at4(b, ch, y, x));
+  // Fixed region count per plane -> write means by index in parallel; the
+  // sample multiset (and hence the percentile) is identical to the serial
+  // walk.
+  const std::int64_t ry_n = (h + r - 1) / r;
+  const std::int64_t rx_n = (w + r - 1) / r;
+  const std::int64_t per_plane = ry_n * rx_n;
+  std::vector<double> means(static_cast<std::size_t>(n * c * per_plane), 0.0);
+  util::parallel_for(
+      n * c,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / c;
+          const std::int64_t ch = t % c;
+          std::int64_t idx = t * per_plane;
+          for (std::int64_t ry = 0; ry < h; ry += r) {
+            for (std::int64_t rx = 0; rx < w; rx += r) {
+              const std::int64_t ye = std::min(ry + r, h);
+              const std::int64_t xe = std::min(rx + r, w);
+              double acc = 0.0;
+              for (std::int64_t y = ry; y < ye; ++y) {
+                for (std::int64_t x = rx; x < xe; ++x) {
+                  acc += std::abs(input.at4(b, ch, y, x));
+                }
+              }
+              means[static_cast<std::size_t>(idx++)] =
+                  acc / static_cast<double>((ye - ry) * (xe - rx));
             }
           }
-          means.push_back(acc / static_cast<double>((ye - ry) * (xe - rx)));
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   if (means.empty()) return cfg.input_threshold;
   return static_cast<float>(
       util::percentile(std::move(means), 1.0 - sensitive_fraction));
@@ -86,9 +107,14 @@ Tensor mixed_quantize_input(const Tensor& input, const TensorU8& mask,
   Tensor hi = quant::fake_quantize_activations(input, hi_bits);
   Tensor lo = quant::fake_quantize_activations(input, lo_bits);
   Tensor out(input.shape());
-  for (std::int64_t i = 0; i < input.numel(); ++i) {
-    out[i] = mask[i] != 0 ? hi[i] : lo[i];
-  }
+  util::parallel_for(
+      input.numel(),
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          out[i] = mask[i] != 0 ? hi[i] : lo[i];
+        }
+      },
+      /*grain=*/1 << 14);
   return out;
 }
 

@@ -1,6 +1,8 @@
 #include "quant/quantizer.hpp"
 
 #include "tensor/ops.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -94,6 +96,26 @@ QTensor quantize_activations(const Tensor& x, int bits, float clip) {
   return out;
 }
 
+float activation_clip_from_percentile(const Tensor& x, float percentile) {
+  if (percentile <= 0.0f || x.numel() == 0) return -1.0f;
+  std::vector<float> mags;
+  const std::int64_t stride = std::max<std::int64_t>(1, x.numel() / 4096);
+  mags.reserve(static_cast<std::size_t>(x.numel() / stride) + 2);
+  for (std::int64_t i = 0; i < x.numel(); i += stride) {
+    mags.push_back(x[i] > 0.0f ? x[i] : 0.0f);
+  }
+  // The strided walk stops short of the last element whenever
+  // (numel - 1) % stride != 0; sample it explicitly so a tail maximum
+  // cannot silently fall out of the estimate.
+  if ((x.numel() - 1) % stride != 0) {
+    const float tail = x[x.numel() - 1];
+    mags.push_back(tail > 0.0f ? tail : 0.0f);
+  }
+  const float clip = static_cast<float>(
+      util::percentile(std::move(mags), static_cast<double>(percentile)));
+  return clip > 0.0f ? clip : -1.0f;
+}
+
 QTensor quantize_signed(const Tensor& x, int bits) {
   if (bits < 2 || bits > 8) {
     throw std::invalid_argument("quantize_signed: bits must be in [2,8]");
@@ -126,15 +148,27 @@ Tensor fake_quantize_weights(const Tensor& w, int bits,
       tmax = std::max(tmax, std::abs(t[i]));
     }
     const float scale = (tmax > 0.0f ? tmax : 1.0f) / qmax;
-    for (std::int64_t i = 0; i < w.numel(); ++i) {
-      out[i] = std::clamp(std::nearbyint(t[i] / scale), -qmax, qmax) * scale;
-    }
+    util::parallel_for(
+        w.numel(),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            out[i] =
+                std::clamp(std::nearbyint(t[i] / scale), -qmax, qmax) * scale;
+          }
+        },
+        /*grain=*/1 << 13);
   } else {
     const float wmax = max_abs(w);
     const float scale = (wmax > 0.0f ? wmax : 1.0f) / qmax;
-    for (std::int64_t i = 0; i < w.numel(); ++i) {
-      out[i] = std::clamp(std::nearbyint(w[i] / scale), -qmax, qmax) * scale;
-    }
+    util::parallel_for(
+        w.numel(),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            out[i] =
+                std::clamp(std::nearbyint(w[i] / scale), -qmax, qmax) * scale;
+          }
+        },
+        /*grain=*/1 << 13);
   }
   return out;
 }
@@ -152,11 +186,16 @@ Tensor fake_quantize_activations(const Tensor& x, int bits, float clip) {
   }
   const float scale = (xmax > 0.0f ? xmax : 1.0f) / qmax;
   Tensor out(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    out[i] = std::clamp(std::nearbyint(std::max(x[i], 0.0f) / scale), 0.0f,
-                        qmax) *
-             scale;
-  }
+  util::parallel_for(
+      x.numel(),
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          out[i] = std::clamp(std::nearbyint(std::max(x[i], 0.0f) / scale),
+                              0.0f, qmax) *
+                   scale;
+        }
+      },
+      /*grain=*/1 << 13);
   return out;
 }
 
@@ -253,31 +292,39 @@ void conv2d_i8_accum(const TensorI8& input, const TensorI8& weight,
     throw std::invalid_argument("conv2d_i8_accum: bad output shape");
   }
 
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t oc = 0; oc < o; ++oc) {
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          std::int32_t acc = 0;
-          for (std::int64_t ic = 0; ic < c; ++ic) {
-            for (std::int64_t ki = 0; ki < kh; ++ki) {
-              const std::int64_t iy = oy * stride - pad + ki;
-              if (iy < 0 || iy >= h) continue;
-              const std::int8_t* irow = input.data() + ((b * c + ic) * h + iy) * w;
-              const std::int8_t* wrow =
-                  weight.data() + ((oc * c + ic) * kh + ki) * kw;
-              for (std::int64_t kj = 0; kj < kw; ++kj) {
-                const std::int64_t ix = ox * stride - pad + kj;
-                if (ix < 0 || ix >= w) continue;
-                acc += static_cast<std::int32_t>(irow[ix]) *
-                       static_cast<std::int32_t>(wrow[kj]);
+  // Tiled over (batch, out-channel) planes; each tile accumulates into its
+  // own output plane, so the integer result is thread-count independent.
+  util::parallel_for(
+      n * o,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / o;
+          const std::int64_t oc = t % o;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              std::int32_t acc = 0;
+              for (std::int64_t ic = 0; ic < c; ++ic) {
+                for (std::int64_t ki = 0; ki < kh; ++ki) {
+                  const std::int64_t iy = oy * stride - pad + ki;
+                  if (iy < 0 || iy >= h) continue;
+                  const std::int8_t* irow =
+                      input.data() + ((b * c + ic) * h + iy) * w;
+                  const std::int8_t* wrow =
+                      weight.data() + ((oc * c + ic) * kh + ki) * kw;
+                  for (std::int64_t kj = 0; kj < kw; ++kj) {
+                    const std::int64_t ix = ox * stride - pad + kj;
+                    if (ix < 0 || ix >= w) continue;
+                    acc += static_cast<std::int32_t>(irow[ix]) *
+                           static_cast<std::int32_t>(wrow[kj]);
+                  }
+                }
               }
+              out.at4(b, oc, oy, ox) += acc << shift;
             }
           }
-          out.at4(b, oc, oy, ox) += acc << shift;
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
 }
 
 TensorI8 im2col_i8(const TensorI8& input, std::int64_t kh, std::int64_t kw,
@@ -294,27 +341,33 @@ TensorI8 im2col_i8(const TensorI8& input, std::int64_t kh, std::int64_t kw,
   }
   TensorI8 cols(Shape{n, c * kh * kw, oh * ow});
   const std::int64_t col_stride = oh * ow;
-  for (std::int64_t b = 0; b < n; ++b) {
-    const std::int8_t* img = input.data() + b * c * h * w;
-    std::int8_t* dst = cols.data() + b * c * kh * kw * col_stride;
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t ki = 0; ki < kh; ++ki) {
-        for (std::int64_t kj = 0; kj < kw; ++kj) {
-          std::int8_t* row = dst + ((ch * kh + ki) * kw + kj) * col_stride;
-          std::int64_t idx = 0;
-          for (std::int64_t oy = 0; oy < oh; ++oy) {
-            const std::int64_t iy = oy * stride - pad + ki;
-            for (std::int64_t ox = 0; ox < ow; ++ox, ++idx) {
-              const std::int64_t ix = ox * stride - pad + kj;
-              row[idx] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                             ? img[(ch * h + iy) * w + ix]
-                             : static_cast<std::int8_t>(0);
+  // One tile per (batch, input-channel) plane; tiles write disjoint rows.
+  util::parallel_for(
+      n * c,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / c;
+          const std::int64_t ch = t % c;
+          const std::int8_t* img = input.data() + (b * c + ch) * h * w;
+          std::int8_t* dst = cols.data() + b * c * kh * kw * col_stride;
+          for (std::int64_t ki = 0; ki < kh; ++ki) {
+            for (std::int64_t kj = 0; kj < kw; ++kj) {
+              std::int8_t* row = dst + ((ch * kh + ki) * kw + kj) * col_stride;
+              std::int64_t idx = 0;
+              for (std::int64_t oy = 0; oy < oh; ++oy) {
+                const std::int64_t iy = oy * stride - pad + ki;
+                for (std::int64_t ox = 0; ox < ow; ++ox, ++idx) {
+                  const std::int64_t ix = ox * stride - pad + kj;
+                  row[idx] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                 ? img[iy * w + ix]
+                                 : static_cast<std::int8_t>(0);
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+      },
+      /*grain=*/2);
   return cols;
 }
 
@@ -334,22 +387,29 @@ TensorI32 conv2d_i8_fast(const TensorI8& input, const TensorI8& weight,
 
   TensorI8 cols = im2col_i8(input, kh, kw, stride, pad);
   TensorI32 out(Shape{n, o, oh, ow});
-  for (std::int64_t b = 0; b < n; ++b) {
-    const std::int8_t* col = cols.data() + b * ckk * ohw;
-    for (std::int64_t oc = 0; oc < o; ++oc) {
-      const std::int8_t* wrow = weight.data() + oc * ckk;
-      std::int32_t* orow = out.data() + (b * o + oc) * ohw;
-      std::fill(orow, orow + ohw, 0);
-      for (std::int64_t p = 0; p < ckk; ++p) {
-        const std::int32_t wv = wrow[p];
-        if (wv == 0) continue;
-        const std::int8_t* crow = col + p * ohw;
-        for (std::int64_t j = 0; j < ohw; ++j) {
-          orow[j] += wv * static_cast<std::int32_t>(crow[j]);
+  // Integer GEMM tiled over (batch, out-channel) planes. Each tile owns one
+  // output plane, so the accumulators are bit-identical at any pool size.
+  util::parallel_for(
+      n * o,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / o;
+          const std::int64_t oc = t % o;
+          const std::int8_t* col = cols.data() + b * ckk * ohw;
+          const std::int8_t* wrow = weight.data() + oc * ckk;
+          std::int32_t* orow = out.data() + t * ohw;
+          std::fill(orow, orow + ohw, 0);
+          for (std::int64_t p = 0; p < ckk; ++p) {
+            const std::int32_t wv = wrow[p];
+            if (wv == 0) continue;
+            const std::int8_t* crow = col + p * ohw;
+            for (std::int64_t j = 0; j < ohw; ++j) {
+              orow[j] += wv * static_cast<std::int32_t>(crow[j]);
+            }
+          }
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return out;
 }
 

@@ -38,6 +38,15 @@ QTensor quantize_activations(const tensor::Tensor& x, int bits,
 // be negative, e.g. the raw image at the first layer).
 QTensor quantize_signed(const tensor::Tensor& x, int bits);
 
+// Clip value for activation quantization: the `percentile` quantile of the
+// ReLU'd activations, estimated from a strided subsample of ~4096 points
+// that always includes the final element (a tail maximum must not be
+// dropped). Returns -1 ("use the per-tensor max") when `percentile` <= 0,
+// the tensor is empty, or the distribution is degenerate — no positive
+// activations, as in an all-negative pre-ReLU map.
+float activation_clip_from_percentile(const tensor::Tensor& x,
+                                      float percentile);
+
 // Per-output-channel weight quantization: one scale per filter (dim 0 of an
 // OIHW tensor). Strictly tighter than the per-tensor scale whenever filter
 // magnitudes differ, at the cost of a per-channel multiplier at
@@ -81,8 +90,10 @@ void conv2d_i8_accum(const tensor::TensorI8& input,
                      std::int64_t pad, int shift, tensor::TensorI32& out);
 
 // Cache-friendly integer convolution: im2col into an int8 column matrix,
-// then an integer GEMM. Bit-identical to conv2d_i8 (tested), ~2-4x faster
-// on larger layers; the ODQ predictor uses it.
+// then an integer GEMM tiled over (batch, out-channel) planes on the global
+// thread pool. Bit-identical to conv2d_i8 at any pool size (integer math,
+// disjoint output planes; tested), ~2-4x faster on larger layers; the ODQ
+// predictor uses it.
 tensor::TensorI32 conv2d_i8_fast(const tensor::TensorI8& input,
                                  const tensor::TensorI8& weight,
                                  std::int64_t stride, std::int64_t pad);

@@ -10,6 +10,9 @@ tensor::Tensor StaticQuantConvExecutor::run(const tensor::Tensor& input,
                                             std::int64_t stride,
                                             std::int64_t pad,
                                             int /*conv_id*/) {
+  // Both the fake-quantize passes and conv2d_direct run tiled on the global
+  // thread pool, so this baseline is benchmarked on the same footing as the
+  // parallel ODQ and DRQ executors.
   tensor::Tensor qin = fake_quantize_activations(input, bits_);
   tensor::Tensor qw =
       per_channel_

@@ -155,28 +155,38 @@ Tensor conv2d_direct(const Tensor& input, const Tensor& weight,
   const std::int64_t ow = conv_out_dim(w, kw, stride, pad);
   Tensor out(Shape{n, o, oh, ow});
 
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t oc = 0; oc < o; ++oc) {
-      const float bv = bias.empty() ? 0.0f : bias[oc];
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          float acc = bv;
-          for (std::int64_t ic = 0; ic < c; ++ic) {
-            for (std::int64_t ki = 0; ki < kh; ++ki) {
-              const std::int64_t iy = oy * stride - pad + ki;
-              if (iy < 0 || iy >= h) continue;
-              for (std::int64_t kj = 0; kj < kw; ++kj) {
-                const std::int64_t ix = ox * stride - pad + kj;
-                if (ix < 0 || ix >= w) continue;
-                acc += input.at4(b, ic, iy, ix) * weight.at4(oc, ic, ki, kj);
+  // Tiled over (batch, out-channel) planes — the same decomposition the ODQ
+  // executor uses — so the DRQ and static-quant baselines ride the same
+  // pool. Per-output accumulation order is unchanged, so results are
+  // bit-identical to the serial loop at any pool size.
+  util::parallel_for(
+      n * o,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / o;
+          const std::int64_t oc = t % o;
+          const float bv = bias.empty() ? 0.0f : bias[oc];
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              float acc = bv;
+              for (std::int64_t ic = 0; ic < c; ++ic) {
+                for (std::int64_t ki = 0; ki < kh; ++ki) {
+                  const std::int64_t iy = oy * stride - pad + ki;
+                  if (iy < 0 || iy >= h) continue;
+                  for (std::int64_t kj = 0; kj < kw; ++kj) {
+                    const std::int64_t ix = ox * stride - pad + kj;
+                    if (ix < 0 || ix >= w) continue;
+                    acc +=
+                        input.at4(b, ic, iy, ix) * weight.at4(oc, ic, ki, kj);
+                  }
+                }
               }
+              out.at4(b, oc, oy, ox) = acc;
             }
           }
-          out.at4(b, oc, oy, ox) = acc;
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return out;
 }
 

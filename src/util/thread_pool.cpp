@@ -6,6 +6,10 @@
 
 namespace odq::util {
 
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -39,7 +43,10 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::in_worker() { return t_in_worker; }
+
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -68,16 +75,13 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for(std::int64_t n,
-                  const std::function<void(std::int64_t, std::int64_t)>& body,
-                  std::int64_t grain) {
-  if (n <= 0) return;
+void parallel_for_dispatch(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& body,
+    std::int64_t grain) {
+  // The template fast path already handled n <= 0, nested calls, single
+  // worker, and n <= grain — this only runs when work really fans out.
   ThreadPool& pool = ThreadPool::global();
   const auto workers = static_cast<std::int64_t>(pool.size());
-  if (workers <= 1 || n <= grain) {
-    body(0, n);
-    return;
-  }
   const std::int64_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
   const std::int64_t step = (n + chunks - 1) / chunks;
   for (std::int64_t begin = 0; begin < n; begin += step) {

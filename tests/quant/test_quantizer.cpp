@@ -242,5 +242,32 @@ TEST(QuantizeActivations, RejectsEightBitCodes) {
   EXPECT_THROW(quantize_activations(x, 8), std::invalid_argument);
 }
 
+// Regression: the percentile subsample walks indices 0, stride, 2*stride, ...
+// which stops short of the final element whenever (numel-1) % stride != 0.
+// A maximum sitting in that tail used to fall out of the estimate entirely.
+TEST(ActivationClipPercentile, TailElementIsNeverDropped) {
+  // numel = 8194 -> stride = 2 -> strided walk ends at 8192; index 8193 is
+  // only reachable via the explicit tail sample.
+  Tensor x(Shape{8194}, 0.5f);
+  x[x.numel() - 1] = 100.0f;
+  const float clip = activation_clip_from_percentile(x, 1.0f);
+  EXPECT_FLOAT_EQ(clip, 100.0f);
+}
+
+TEST(ActivationClipPercentile, DenseWalkMatchesExactMax) {
+  // numel < 4096 -> stride = 1 -> every element sampled, no duplicate tail.
+  Tensor x = random_tensor(Shape{1000}, 77, 0.0f, 1.0f);
+  x[123] = 42.0f;
+  EXPECT_FLOAT_EQ(activation_clip_from_percentile(x, 1.0f), 42.0f);
+}
+
+TEST(ActivationClipPercentile, DegenerateInputsFallBackToMax) {
+  Tensor neg(Shape{64}, -1.0f);  // all-negative pre-ReLU map
+  EXPECT_FLOAT_EQ(activation_clip_from_percentile(neg, 0.99f), -1.0f);
+  Tensor x(Shape{64}, 0.5f);
+  EXPECT_FLOAT_EQ(activation_clip_from_percentile(x, 0.0f), -1.0f);
+  EXPECT_FLOAT_EQ(activation_clip_from_percentile(x, -1.0f), -1.0f);
+}
+
 }  // namespace
 }  // namespace odq::quant
