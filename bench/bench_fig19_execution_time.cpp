@@ -44,8 +44,9 @@ double time_host_pipeline(const odq::core::OdqConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace odq;
+  bench::json_init(argc, argv);
   bench::print_header(
       "bench_fig19_execution_time",
       "Figure 19 (normalized execution time) + Table 2 (configurations)",
@@ -77,6 +78,11 @@ int main() {
     std::printf("%-10s %-10.3f %-10.3f %-10.3f %-10.4f\n", model.c_str(),
                 1.0, cycles[1] / cycles[0], cycles[2] / cycles[0],
                 cycles[3] / cycles[0]);
+    bench::json_row("fig19", {{"model", model},
+                              {"int16", 1.0},
+                              {"int8", cycles[1] / cycles[0]},
+                              {"drq", cycles[2] / cycles[0]},
+                              {"odq", cycles[3] / cycles[0]}});
     sum_vs16 += 1.0 - cycles[3] / cycles[0];
     sum_vs8 += 1.0 - cycles[3] / cycles[1];
     sum_vsdrq += 1.0 - cycles[3] / cycles[2];
@@ -88,6 +94,10 @@ int main() {
               "67.6%%)\n",
               100.0 * sum_vs16 / n, 100.0 * sum_vs8 / n,
               100.0 * sum_vsdrq / n);
+  bench::json_row("fig19_mean_reduction",
+                  {{"vs_int16_pct", 100.0 * sum_vs16 / n},
+                   {"vs_int8_pct", 100.0 * sum_vs8 / n},
+                   {"vs_drq_pct", 100.0 * sum_vsdrq / n}});
 
   std::printf("\nHost wall-clock — ODQ software pipeline, 20 batch-8 convs "
               "(threshold %.2f):\n", 0.15);
@@ -101,5 +111,10 @@ int main() {
   std::printf("%-20s (%zu thr) %.3f s  (%.2fx)\n", "tiled thread pool",
               util::ThreadPool::global().size(), pooled_s,
               serial_s / pooled_s);
+  bench::json_row("host_wall_clock",
+                  {{"serial_seconds", serial_s},
+                   {"pooled_seconds", pooled_s},
+                   {"pool_threads", util::ThreadPool::global().size()},
+                   {"speedup", serial_s / pooled_s}});
   return 0;
 }

@@ -6,8 +6,9 @@
 #include "accel/simulator.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace odq;
+  bench::json_init(argc, argv);
   bench::print_header(
       "bench_fig20_odq_idle",
       "Figure 20 (% idle PEs with ODQ dynamic allocation)",
@@ -35,6 +36,10 @@ int main() {
                 "static idle: mean %5.1f%%\n",
                 model.c_str(), 100.0 * rd.idle_pe_fraction, 100.0 * worst_dyn,
                 100.0 * rs.idle_pe_fraction);
+    bench::json_row("fig20", {{"model", model},
+                              {"dynamic_idle_mean", rd.idle_pe_fraction},
+                              {"dynamic_idle_worst", worst_dyn},
+                              {"static_idle_mean", rs.idle_pe_fraction}});
   }
   bench::print_rule();
   std::printf(

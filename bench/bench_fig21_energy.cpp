@@ -5,8 +5,9 @@
 #include "accel/simulator.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace odq;
+  bench::json_init(argc, argv);
   bench::print_header(
       "bench_fig21_energy",
       "Figure 21 (normalized energy + DRAM/Buffer/Core breakdown)",
@@ -32,6 +33,12 @@ int main() {
                   j == 0 ? model.c_str() : "", names[j],
                   eb[j].total_pj() / base, eb[j].dram_pj / base,
                   eb[j].buffer_pj / base, eb[j].core_pj / base);
+      bench::json_row("fig21", {{"model", model},
+                                {"accel", names[j]},
+                                {"norm_total", eb[j].total_pj() / base},
+                                {"dram", eb[j].dram_pj / base},
+                                {"buffer", eb[j].buffer_pj / base},
+                                {"core", eb[j].core_pj / base}});
     }
     sum_vs16 += 1.0 - eb[3].total_pj() / eb[0].total_pj();
     sum_vs8 += 1.0 - eb[3].total_pj() / eb[1].total_pj();
@@ -43,5 +50,9 @@ int main() {
               "vs INT8 %.1f%% (paper 93.5%%), vs DRQ %.1f%% (paper 66.9%%)\n",
               100.0 * sum_vs16 / n, 100.0 * sum_vs8 / n,
               100.0 * sum_vsdrq / n);
+  bench::json_row("fig21_mean_reduction",
+                  {{"vs_int16_pct", 100.0 * sum_vs16 / n},
+                   {"vs_int8_pct", 100.0 * sum_vs8 / n},
+                   {"vs_drq_pct", 100.0 * sum_vsdrq / n}});
   return 0;
 }

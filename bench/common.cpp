@@ -4,6 +4,7 @@
 
 #include <sys/stat.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -11,6 +12,7 @@
 
 #include "nn/init.hpp"
 #include "nn/models.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -391,8 +393,156 @@ OdqTunedModel odq_finetuned(const std::string& model_name, int variant) {
   return out;
 }
 
+// ---- Machine-readable output ----------------------------------------------
+
+namespace {
+
+struct JsonRow {
+  std::string section;
+  std::vector<std::pair<std::string, JsonCell>> cells;
+};
+
+struct BenchJsonState {
+  bool enabled = false;
+  std::string explicit_path;  // from --json or a file-looking env value
+  std::string out_dir;        // from a directory-looking env value
+  std::string bench_name;     // set by print_header
+  std::string reproduces;
+  std::vector<JsonRow> rows;
+  bool flush_registered = false;
+};
+
+BenchJsonState& json_state() {
+  static BenchJsonState s;
+  return s;
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::string json_output_path() {
+  const BenchJsonState& s = json_state();
+  if (!s.explicit_path.empty()) return s.explicit_path;
+  std::string name = s.bench_name.empty() ? "unnamed" : s.bench_name;
+  for (char& c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '-')) {
+      c = '_';
+    }
+  }
+  std::string dir = s.out_dir.empty() ? "." : s.out_dir;
+  if (dir.back() == '/') dir.pop_back();
+  return dir + "/BENCH_" + name + ".json";
+}
+
+void json_flush() {
+  BenchJsonState& s = json_state();
+  if (!s.enabled) return;
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", s.bench_name);
+  w.kv("reproduces", s.reproduces);
+  w.kv("scale", scale().name);
+  w.key("rows");
+  w.begin_array();
+  for (const JsonRow& row : s.rows) {
+    w.begin_object();
+    w.kv("section", row.section);
+    for (const auto& [key, cell] : row.cells) {
+      w.key(key);
+      switch (cell.kind) {
+        case JsonCell::Kind::kString: w.value(cell.s); break;
+        case JsonCell::Kind::kDouble: w.value(cell.d); break;
+        case JsonCell::Kind::kInt: w.value(cell.i); break;
+        case JsonCell::Kind::kBool: w.value(cell.b); break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string path = json_output_path();
+  const std::string doc = w.take();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+}
+
+// Pick up ODQ_BENCH_JSON once; --json (via json_init) can override later.
+void json_init_from_env() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  const char* env = std::getenv("ODQ_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0' || std::string(env) == "0") return;
+  BenchJsonState& s = json_state();
+  s.enabled = true;
+  const std::string v = env;
+  if (v == "1" || v == "true") {
+    // default: ./BENCH_<name>.json
+  } else if (v.back() == '/' || is_directory(v)) {
+    s.out_dir = v;
+  } else {
+    s.explicit_path = v;
+  }
+}
+
+void json_register_flush() {
+  BenchJsonState& s = json_state();
+  if (s.enabled && !s.flush_registered) {
+    s.flush_registered = true;
+    std::atexit(json_flush);
+  }
+}
+
+}  // namespace
+
+void json_init(int argc, char** argv) {
+  json_init_from_env();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      BenchJsonState& s = json_state();
+      s.enabled = true;
+      s.explicit_path = argv[i + 1];
+      s.out_dir.clear();
+      break;
+    }
+  }
+  json_register_flush();
+}
+
+bool json_enabled() {
+  json_init_from_env();
+  return json_state().enabled;
+}
+
+void json_row(const std::string& section,
+              std::initializer_list<std::pair<std::string, JsonCell>> cells) {
+  if (!json_enabled()) return;
+  JsonRow row;
+  row.section = section;
+  row.cells.assign(cells.begin(), cells.end());
+  json_state().rows.push_back(std::move(row));
+}
+
 void print_header(const std::string& bench, const std::string& reproduces,
                   const std::string& note) {
+  json_init_from_env();
+  {
+    BenchJsonState& s = json_state();
+    s.bench_name = bench;
+    s.reproduces = reproduces;
+    json_register_flush();
+  }
   std::printf("================================================================\n");
   std::printf("%s\n", bench.c_str());
   std::printf("reproduces: %s\n", reproduces.c_str());

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/workload.hpp"
@@ -117,5 +119,46 @@ std::vector<drq::LayerAnalysis> analyze_model_layers(
 void print_header(const std::string& bench, const std::string& reproduces,
                   const std::string& note = "");
 void print_rule();
+
+// ---- Machine-readable output ----------------------------------------------
+//
+// Benches can mirror their result rows into a JSON file for scripted
+// consumption (regression tracking, plotting). Off by default; enabled by
+//   * `--json <path>` on the bench command line (call json_init from main), or
+//   * ODQ_BENCH_JSON=1        -> ./BENCH_<bench>.json
+//     ODQ_BENCH_JSON=<dir>/   -> <dir>/BENCH_<bench>.json (trailing slash or
+//                                existing directory)
+//     ODQ_BENCH_JSON=<path>   -> exactly that file.
+// print_header() opens the document (bench name, reproduces line, scale);
+// json_row() appends one row; the file is written at process exit, so
+// benches need no explicit flush/teardown.
+
+// One cell of a row: string, float, integer, or bool.
+struct JsonCell {
+  enum class Kind { kString, kDouble, kInt, kBool } kind;
+  std::string s;
+  double d = 0.0;
+  std::int64_t i = 0;
+  bool b = false;
+
+  JsonCell(const char* v) : kind(Kind::kString), s(v) {}
+  JsonCell(std::string v) : kind(Kind::kString), s(std::move(v)) {}
+  JsonCell(double v) : kind(Kind::kDouble), d(v) {}
+  JsonCell(float v) : kind(Kind::kDouble), d(v) {}
+  JsonCell(std::int64_t v) : kind(Kind::kInt), i(v) {}
+  JsonCell(int v) : kind(Kind::kInt), i(v) {}
+  JsonCell(std::size_t v) : kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}
+  JsonCell(bool v) : kind(Kind::kBool), b(v) {}
+};
+
+// Parse `--json <path>` (also accepts ODQ_BENCH_JSON); safe to skip for
+// benches whose main() takes no arguments — the env var still works.
+void json_init(int argc, char** argv);
+bool json_enabled();
+
+// Append one row under `section` (e.g. "fig19", "host_wall_clock"). Keys are
+// emitted in the order given. No-op when JSON output is disabled.
+void json_row(const std::string& section,
+              std::initializer_list<std::pair<std::string, JsonCell>> cells);
 
 }  // namespace odq::bench

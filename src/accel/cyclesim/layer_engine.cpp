@@ -7,6 +7,8 @@
 #include "accel/cyclesim/dram_channel.hpp"
 #include "accel/cyclesim/line_buffer.hpp"
 #include "accel/cyclesim/pe_array.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace odq::accel::cyclesim {
 
@@ -36,8 +38,35 @@ class SensitivityPattern {
 
 }  // namespace
 
+namespace {
+
+// Per-layer PE-array busy/idle and memory-stall counters, so cycle-sim runs
+// show up in metrics snapshots without the caller aggregating by hand.
+void record_layer_metrics(const CycleSimResult& r) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& layers = obs::counter("cyclesim.layers");
+  static obs::Counter& cycles = obs::counter("cyclesim.cycles");
+  static obs::Counter& pred_busy = obs::counter("cyclesim.predictor_busy");
+  static obs::Counter& pred_idle = obs::counter("cyclesim.predictor_idle");
+  static obs::Counter& exec_busy = obs::counter("cyclesim.executor_busy");
+  static obs::Counter& exec_idle = obs::counter("cyclesim.executor_idle");
+  static obs::Counter& underruns = obs::counter("cyclesim.lb_underruns");
+  static obs::Counter& dram = obs::counter("cyclesim.dram_bytes");
+  layers.increment();
+  cycles.add(r.cycles);
+  pred_busy.add(r.predictor_busy);
+  pred_idle.add(r.predictor_idle);
+  exec_busy.add(r.executor_busy);
+  exec_idle.add(r.executor_idle);
+  underruns.add(r.line_buffer_underruns);
+  dram.add(static_cast<std::int64_t>(r.dram_bytes));
+}
+
+}  // namespace
+
 CycleSimResult simulate_layer(const ConvWorkload& wl,
                               const CycleSimConfig& cfg) {
+  obs::TraceSpan span("cyclesim.layer");
   CycleSimResult res;
   const int pes_per_array = cfg.slice.pes_per_array(cfg.total_pes);
   res.allocation = cfg.dynamic_allocation
@@ -215,6 +244,7 @@ CycleSimResult simulate_layer(const ConvWorkload& wl,
   res.line_buffer_underruns = pred_lb.underruns();
   for (const auto& lb : exec_lbs) res.line_buffer_underruns += lb.underruns();
   res.dram_bytes = dram.total_bytes_served();
+  record_layer_metrics(res);
   return res;
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace odq::accel {
 
 namespace {
@@ -198,6 +201,8 @@ LayerSimResult simulate_odq_layer(const AcceleratorConfig& cfg,
 SimResult simulate(const AcceleratorConfig& cfg,
                    const std::vector<ConvWorkload>& workloads,
                    const SimOptions& opts) {
+  obs::TraceSpan span("sim.network." + cfg.name);
+  span.arg("layers", static_cast<std::int64_t>(workloads.size()));
   SimResult res;
   res.accelerator = cfg.name;
   double idle_weighted = 0.0;
@@ -229,6 +234,19 @@ SimResult simulate(const AcceleratorConfig& cfg,
   }
   res.idle_pe_fraction =
       res.total_cycles > 0.0 ? idle_weighted / res.total_cycles : 0.0;
+  if (obs::metrics_enabled()) {
+    static obs::Counter& runs = obs::counter("sim.runs");
+    static obs::Counter& layers = obs::counter("sim.layers");
+    static obs::Counter& cycles = obs::counter("sim.cycles");
+    static obs::Distribution& idle =
+        obs::distribution("sim.layer_idle_fraction", 0.0, 1.0, 50);
+    runs.increment();
+    layers.add(static_cast<std::int64_t>(res.layers.size()));
+    cycles.add(static_cast<std::int64_t>(res.total_cycles));
+    for (const LayerSimResult& lr : res.layers) {
+      idle.record(lr.idle_pe_fraction);
+    }
+  }
   return res;
 }
 

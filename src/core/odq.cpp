@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/thread_pool.hpp"
 
@@ -21,9 +23,34 @@ namespace {
 // Quantize activations per the config: max calibration, or clipping at the
 // configured quantile of the (non-negative) activation distribution.
 QTensor quantize_input(const Tensor& input, const OdqConfig& cfg) {
+  ODQ_TRACE_SPAN("odq.quantize");
   const float clip =
       quant::activation_clip_from_percentile(input, cfg.act_clip_percentile);
   return quant::quantize_activations(input, cfg.total_bits, clip);
+}
+
+QTensor quantize_weight(const Tensor& weight, const OdqConfig& cfg) {
+  ODQ_TRACE_SPAN("odq.quantize");
+  return quant::quantize_weights(weight, cfg.total_bits, cfg.weight_transform);
+}
+
+// Per-conv pipeline counters (see docs/observability.md). Recorded once per
+// odq_conv call — a handful of relaxed ops, never inside the MAC loops.
+void record_conv_metrics(const OdqLayerStats& s) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& calls = obs::counter("odq.conv.calls");
+  static obs::Counter& outputs = obs::counter("odq.conv.outputs");
+  static obs::Counter& sensitive = obs::counter("odq.conv.sensitive");
+  static obs::Counter& pred_macs = obs::counter("odq.conv.predictor_macs");
+  static obs::Counter& exec_macs = obs::counter("odq.conv.executor_macs");
+  static obs::Distribution& frac =
+      obs::distribution("odq.conv.sensitive_fraction", 0.0, 1.0, 50);
+  calls.increment();
+  outputs.add(s.outputs);
+  sensitive.add(s.sensitive);
+  pred_macs.add(s.predictor_macs);
+  exec_macs.add(s.executor_macs);
+  frac.record(s.sensitive_fraction());
 }
 
 // Dequantize integer accumulators and add the per-channel bias, tiled over
@@ -31,6 +58,7 @@ QTensor quantize_input(const Tensor& input, const OdqConfig& cfg) {
 // tile, so tiles are independent.
 Tensor dequantize_with_bias(const TensorI32& acc, float scale,
                             const Tensor& bias) {
+  ODQ_TRACE_SPAN("odq.epilogue");
   Tensor out(acc.shape());
   const Shape& s = acc.shape();
   const std::int64_t oc = s[1], ohw = s[2] * s[3];
@@ -69,8 +97,12 @@ OdqConvResult odq_conv_reference(const QTensor& input, const QTensor& weight,
   const int lb = cfg.low_bits;
 
   // Step 2: bit split.
-  quant::SplitTensor in_split = quant::split(input, lb);
-  quant::SplitTensor w_split = quant::split(weight, lb);
+  quant::SplitTensor in_split, w_split;
+  {
+    ODQ_TRACE_SPAN("odq.bitsplit");
+    in_split = quant::split(input, lb);
+    w_split = quant::split(weight, lb);
+  }
 
   // Step 3: sensitivity prediction — I_HBS x W_HBS shifted by 2*low_bits.
   const Shape& is = input.q.shape();
@@ -83,27 +115,33 @@ OdqConvResult odq_conv_reference(const QTensor& input, const QTensor& weight,
 
   OdqConvResult res;
   res.scale = input.scale * weight.scale;
-  res.predictor_acc =
-      quant::conv2d_i8_fast(in_split.high, w_split.high, stride, pad);
-  for (std::int64_t i = 0; i < res.predictor_acc.numel(); ++i) {
-    res.predictor_acc[i] <<= 2 * lb;
+  {
+    ODQ_TRACE_SPAN("odq.predictor");
+    res.predictor_acc =
+        quant::conv2d_i8_fast(in_split.high, w_split.high, stride, pad);
+    for (std::int64_t i = 0; i < res.predictor_acc.numel(); ++i) {
+      res.predictor_acc[i] <<= 2 * lb;
+    }
   }
 
   // Threshold -> bit mask.
   res.mask = TensorU8(Shape{n, oc, oh, ow});
   res.sensitive_per_channel.assign(static_cast<std::size_t>(oc), 0);
   std::int64_t sensitive = 0;
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t ch = 0; ch < oc; ++ch) {
-      for (std::int64_t i = 0; i < oh * ow; ++i) {
-        const std::int64_t idx = ((b * oc + ch) * oh * ow) + i;
-        const float mag =
-            std::abs(static_cast<float>(res.predictor_acc[idx]) * res.scale);
-        const bool sens = mag >= cfg.threshold;
-        res.mask[idx] = sens ? 1 : 0;
-        if (sens) {
-          ++sensitive;
-          ++res.sensitive_per_channel[static_cast<std::size_t>(ch)];
+  {
+    ODQ_TRACE_SPAN("odq.mask");
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t ch = 0; ch < oc; ++ch) {
+        for (std::int64_t i = 0; i < oh * ow; ++i) {
+          const std::int64_t idx = ((b * oc + ch) * oh * ow) + i;
+          const float mag =
+              std::abs(static_cast<float>(res.predictor_acc[idx]) * res.scale);
+          const bool sens = mag >= cfg.threshold;
+          res.mask[idx] = sens ? 1 : 0;
+          if (sens) {
+            ++sensitive;
+            ++res.sensitive_per_channel[static_cast<std::size_t>(ch)];
+          }
         }
       }
     }
@@ -111,6 +149,8 @@ OdqConvResult odq_conv_reference(const QTensor& input, const QTensor& weight,
 
   // Step 4: result generation — remaining three terms, sensitive outputs
   // only. Computed per masked output, mirroring the executor PE's work.
+  obs::TraceSpan result_span("odq.result_gen");
+  result_span.arg("sensitive", sensitive);
   res.acc = res.predictor_acc;
   const std::int8_t* ih = in_split.high.data();
   const std::int8_t* il = in_split.low.data();
@@ -156,6 +196,7 @@ OdqConvResult odq_conv_reference(const QTensor& input, const QTensor& weight,
   res.stats.sensitive = sensitive;
   res.stats.predictor_macs = res.stats.outputs * c * kh * kw;
   res.stats.executor_macs = exec_macs;
+  record_conv_metrics(res.stats);
   return res;
 }
 
@@ -169,8 +210,12 @@ OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
   const int lb = cfg.low_bits;
 
   // Step 2: bit split.
-  quant::SplitTensor in_split = quant::split(input, lb);
-  quant::SplitTensor w_split = quant::split(weight, lb);
+  quant::SplitTensor in_split, w_split;
+  {
+    ODQ_TRACE_SPAN("odq.bitsplit");
+    in_split = quant::split(input, lb);
+    w_split = quant::split(weight, lb);
+  }
 
   const Shape& is = input.q.shape();
   const Shape& ws = weight.q.shape();
@@ -184,9 +229,10 @@ OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
   // Step 3: sensitivity prediction — I_HBS x W_HBS shifted by 2*low_bits.
   OdqConvResult res;
   res.scale = input.scale * weight.scale;
-  res.predictor_acc =
-      quant::conv2d_i8_fast(in_split.high, w_split.high, stride, pad);
   {
+    ODQ_TRACE_SPAN("odq.predictor");
+    res.predictor_acc =
+        quant::conv2d_i8_fast(in_split.high, w_split.high, stride, pad);
     std::int32_t* p = res.predictor_acc.data();
     util::parallel_for(
         res.predictor_acc.numel(),
@@ -201,6 +247,7 @@ OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
   // remaining Eq. (3) terms. Every tile owns disjoint mask/acc planes, and
   // sensitive/MAC counters are per-tile, reduced serially afterwards — no
   // atomics anywhere in the inner loop.
+  ODQ_TRACE_SPAN("odq.mask_exec");
   res.acc = res.predictor_acc;
   res.mask = TensorU8(Shape{n, oc, oh, ow});
   res.sensitive_per_channel.assign(static_cast<std::size_t>(oc), 0);
@@ -306,6 +353,7 @@ OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
   res.stats.sensitive = sensitive;
   res.stats.predictor_macs = res.stats.outputs * c * kh * kw;
   res.stats.executor_macs = exec_macs;
+  record_conv_metrics(res.stats);
   return res;
 }
 
@@ -314,8 +362,7 @@ Tensor odq_conv_float(const Tensor& input, const Tensor& weight,
                       const OdqConfig& cfg, OdqLayerStats* stats,
                       TensorU8* mask_out) {
   QTensor qin = quantize_input(input, cfg);
-  QTensor qw = quant::quantize_weights(weight, cfg.total_bits,
-                                       cfg.weight_transform);
+  QTensor qw = quantize_weight(weight, cfg);
   OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg);
 
   Tensor out = dequantize_with_bias(r.acc, r.scale, bias);
@@ -327,9 +374,10 @@ Tensor odq_conv_float(const Tensor& input, const Tensor& weight,
 Tensor OdqConvExecutor::run(const Tensor& input, const Tensor& weight,
                             const Tensor& bias, std::int64_t stride,
                             std::int64_t pad, int conv_id) {
+  obs::TraceSpan span("odq.conv");
+  span.arg("conv_id", conv_id);
   QTensor qin = quantize_input(input, cfg_);
-  QTensor qw =
-      quant::quantize_weights(weight, cfg_.total_bits, cfg_.weight_transform);
+  QTensor qw = quantize_weight(weight, cfg_);
   OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg_);
 
   Tensor out = dequantize_with_bias(r.acc, r.scale, bias);

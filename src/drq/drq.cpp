@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quant/quantizer.hpp"
 #include "tensor/ops.hpp"
 #include "util/stats.hpp"
@@ -137,6 +139,8 @@ Tensor drq_conv(const Tensor& input, const Tensor& weight, const Tensor& bias,
 Tensor DrqConvExecutor::run(const Tensor& input, const Tensor& weight,
                             const Tensor& bias, std::int64_t stride,
                             std::int64_t pad, int conv_id) {
+  obs::TraceSpan span("drq.conv");
+  span.arg("conv_id", conv_id);
   DrqConfig cfg = cfg_;
   if (cfg.calibrate_quantile >= 0.0) {
     cfg.input_threshold =
@@ -152,6 +156,13 @@ Tensor DrqConvExecutor::run(const Tensor& input, const Tensor& weight,
     const auto id = static_cast<std::size_t>(std::max(conv_id, 0));
     if (stats_.size() <= id) stats_.resize(id + 1);
     stats_[id].accumulate(sens);
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& calls = obs::counter("drq.conv.calls");
+    static obs::Distribution& frac =
+        obs::distribution("drq.conv.sensitive_input_fraction", 0.0, 1.0, 50);
+    calls.increment();
+    frac.record(sens);
   }
   return drq_conv(input, weight, bias, stride, pad, cfg, &mask);
 }

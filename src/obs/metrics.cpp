@@ -1,0 +1,263 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace odq::obs {
+
+namespace {
+
+std::atomic<int> g_metrics_enabled{-1};  // -1: read ODQ_METRICS on first use
+
+// Thread-local cache: metric instance -> this thread's shard/cell. One map
+// serves every metric kind (instances have distinct addresses). Entries die
+// with the thread; the shards they point to are owned by the metric and
+// keep their accumulated values.
+thread_local std::unordered_map<const void*, void*> t_shards;
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Distribution>> distributions;
+};
+
+// Leaked on purpose: worker threads may record during static destruction.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  int v = g_metrics_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("ODQ_METRICS");
+    v = (env != nullptr && env[0] != '\0' && std::string(env) != "0") ? 1 : 0;
+    g_metrics_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::atomic<std::int64_t>& Counter::cell() {
+  void*& p = t_shards[this];
+  if (p == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+    p = cells_.back().get();
+  }
+  return *static_cast<std::atomic<std::int64_t>*>(p);
+}
+
+std::int64_t Counter::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t sum = 0;
+  for (const auto& c : cells_) sum += c->load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& c : cells_) c->store(0, std::memory_order_relaxed);
+}
+
+void Gauge::reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  written_.store(false, std::memory_order_relaxed);
+}
+
+Distribution::Shard& Distribution::shard() {
+  void*& p = t_shards[this];
+  if (p == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->hist = std::make_unique<util::Histogram>(lo_, hi_, bins_);
+    p = shards_.back().get();
+  }
+  return *static_cast<Shard*>(p);
+}
+
+void Distribution::record(double x) {
+  if (!metrics_enabled()) return;
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.stats.add(x);
+  s.hist->add(x);
+}
+
+util::RunningStats Distribution::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::RunningStats merged;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s->mutex);
+    merged.merge(s->stats);
+  }
+  return merged;
+}
+
+util::Histogram Distribution::histogram() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Histogram merged(lo_, hi_, bins_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s->mutex);
+    for (std::size_t b = 0; b < s->hist->bins(); ++b) {
+      if (s->hist->count(b) > 0) {
+        merged.add_n((s->hist->bin_lo(b) + s->hist->bin_hi(b)) * 0.5,
+                     s->hist->count(b));
+      }
+    }
+  }
+  return merged;
+}
+
+void Distribution::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s->mutex);
+    s->stats = util::RunningStats{};
+    s->hist = std::make_unique<util::Histogram>(lo_, hi_, bins_);
+  }
+}
+
+namespace {
+
+void check_name_free(const Registry& r, const std::string& name,
+                     const void* skip_map) {
+  if (skip_map != &r.counters && r.counters.count(name) > 0) {
+    throw std::invalid_argument("metric '" + name + "' is a counter");
+  }
+  if (skip_map != &r.gauges && r.gauges.count(name) > 0) {
+    throw std::invalid_argument("metric '" + name + "' is a gauge");
+  }
+  if (skip_map != &r.distributions && r.distributions.count(name) > 0) {
+    throw std::invalid_argument("metric '" + name + "' is a distribution");
+  }
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    check_name_free(r, name, &r.counters);
+    it = r.counters.emplace(name, std::make_unique<Counter>(name)).first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) {
+    check_name_free(r, name, &r.gauges);
+    it = r.gauges.emplace(name, std::make_unique<Gauge>(name)).first;
+  }
+  return *it->second;
+}
+
+Distribution& distribution(const std::string& name, double lo, double hi,
+                           std::size_t bins) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.distributions.find(name);
+  if (it == r.distributions.end()) {
+    check_name_free(r, name, &r.distributions);
+    it = r.distributions
+             .emplace(name, std::make_unique<Distribution>(name, lo, hi, bins))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricValue> metrics_snapshot() {
+  Registry& r = registry();
+  std::vector<MetricValue> out;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    out.reserve(r.counters.size() + r.gauges.size() + r.distributions.size());
+    for (const auto& [name, c] : r.counters) {
+      MetricValue v;
+      v.name = name;
+      v.kind = MetricValue::Kind::kCounter;
+      v.count = c->total();
+      out.push_back(std::move(v));
+    }
+    for (const auto& [name, g] : r.gauges) {
+      MetricValue v;
+      v.name = name;
+      v.kind = MetricValue::Kind::kGauge;
+      v.value = g->value();
+      out.push_back(std::move(v));
+    }
+    for (const auto& [name, d] : r.distributions) {
+      const util::RunningStats s = d->stats();
+      MetricValue v;
+      v.name = name;
+      v.kind = MetricValue::Kind::kDistribution;
+      v.count = static_cast<std::int64_t>(s.count());
+      v.value = s.mean();
+      v.min = s.min();
+      v.max = s.max();
+      v.stddev = s.stddev();
+      v.sum = s.sum();
+      out.push_back(std::move(v));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void metrics_reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [_, c] : r.counters) c->reset();
+  for (auto& [_, g] : r.gauges) g->reset();
+  for (auto& [_, d] : r.distributions) d->reset();
+}
+
+void metrics_to_json(util::JsonWriter& w) {
+  w.begin_object();
+  for (const MetricValue& m : metrics_snapshot()) {
+    w.key(m.name);
+    w.begin_object();
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        w.kv("type", "counter");
+        w.kv("count", m.count);
+        break;
+      case MetricValue::Kind::kGauge:
+        w.kv("type", "gauge");
+        w.kv("value", m.value);
+        break;
+      case MetricValue::Kind::kDistribution:
+        w.kv("type", "distribution");
+        w.kv("count", m.count);
+        w.kv("mean", m.value);
+        w.kv("min", m.min);
+        w.kv("max", m.max);
+        w.kv("stddev", m.stddev);
+        w.kv("sum", m.sum);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace odq::obs

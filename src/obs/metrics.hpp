@@ -1,0 +1,150 @@
+// Metrics registry: named counters, gauges and distributions with
+// per-thread shards, merged on snapshot.
+//
+// Design goals (docs/observability.md has the full conventions):
+//
+//  * Near-zero cost when disabled: every record path starts with one
+//    relaxed atomic load and branches out. Collection defaults to off and
+//    is switched on by the ODQ_METRICS environment variable (any non-empty
+//    value except "0") or set_metrics_enabled(true).
+//  * No contention when enabled: each recording thread writes its own
+//    shard. Counters use a single-writer atomic cell per (metric, thread);
+//    distributions keep a util::RunningStats + util::Histogram pair behind
+//    a per-shard mutex that only the snapshot ever contends on.
+//  * Deterministic snapshots: merging shards is order-independent for
+//    counters/gauges and for RunningStats sums/counts/extrema, so a
+//    snapshot after N recorded events is identical however the work was
+//    sharded across threads.
+//
+// Usage on a hot-ish path (resolve the handle once, outside the loop):
+//
+//   static obs::Counter& c = obs::counter("odq.conv.outputs");
+//   c.add(n);
+//
+// Handles returned by counter()/gauge()/distribution() stay valid for the
+// process lifetime; the registry never deletes metrics (reset() zeroes
+// values but keeps the objects).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace odq::util {
+class JsonWriter;
+}  // namespace odq::util
+
+namespace odq::obs {
+
+// Global metrics switch. Initialized from ODQ_METRICS on first query.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+// Monotonically increasing integer, e.g. "threadpool.tasks".
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::int64_t delta) {
+    if (!metrics_enabled()) return;
+    cell().fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  const std::string& name() const { return name_; }
+  std::int64_t total() const;
+  void reset();
+
+ private:
+  std::atomic<std::int64_t>& cell();
+
+  std::string name_;
+  mutable std::mutex mutex_;  // guards cells_ growth
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> cells_;
+};
+
+// Last-write-wins double, e.g. "sim.last_idle_fraction".
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+    written_.store(true, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  bool written() const { return written_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> written_{false};
+};
+
+// Sample distribution: streaming moments plus a fixed-bin histogram,
+// e.g. "threadpool.queue_wait_us".
+class Distribution {
+ public:
+  Distribution(std::string name, double lo, double hi, std::size_t bins)
+      : name_(std::move(name)), lo_(lo), hi_(hi), bins_(bins) {}
+
+  void record(double x);
+
+  const std::string& name() const { return name_; }
+  // Merged view over all shards.
+  util::RunningStats stats() const;
+  util::Histogram histogram() const;
+  void reset();
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    util::RunningStats stats;
+    std::unique_ptr<util::Histogram> hist;
+  };
+  Shard& shard();
+
+  std::string name_;
+  double lo_, hi_;
+  std::size_t bins_;
+  mutable std::mutex mutex_;  // guards shards_ growth
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Registry lookups: create-on-first-use, then return the same object for
+// the same name. Mixing kinds under one name throws std::invalid_argument.
+// A Distribution's bounds are fixed by its first registration.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Distribution& distribution(const std::string& name, double lo = 0.0,
+                           double hi = 1.0, std::size_t bins = 32);
+
+// One merged metric value at snapshot time.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kDistribution };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t count = 0;  // counter total or distribution sample count
+  double value = 0.0;      // gauge value or distribution mean
+  double min = 0.0, max = 0.0, stddev = 0.0, sum = 0.0;  // distributions
+};
+
+// Deterministic snapshot: metrics sorted by name, shards merged.
+std::vector<MetricValue> metrics_snapshot();
+
+// Zero every registered metric (handles stay valid). Test/tool helper.
+void metrics_reset();
+
+// Serialize a snapshot as a JSON object keyed by metric name.
+void metrics_to_json(util::JsonWriter& w);
+
+}  // namespace odq::obs

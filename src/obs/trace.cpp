@@ -1,0 +1,183 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace odq::obs {
+
+namespace {
+
+std::atomic<int> g_trace_enabled{-1};  // -1: read ODQ_TRACE on first use
+
+using clock_type = std::chrono::steady_clock;
+
+clock_type::time_point trace_epoch() {
+  static const clock_type::time_point epoch = clock_type::now();
+  return epoch;
+}
+
+struct EventBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<EventBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+// Leaked on purpose: worker threads may record during static destruction.
+Collector& collector() {
+  static Collector* c = new Collector;
+  return *c;
+}
+
+EventBuffer& thread_buffer() {
+  thread_local EventBuffer* buf = [] {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.buffers.push_back(std::make_unique<EventBuffer>());
+    c.buffers.back()->tid = c.next_tid++;
+    return c.buffers.back().get();
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  int v = g_trace_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("ODQ_TRACE");
+    v = (env != nullptr && env[0] != '\0' && std::string(env) != "0") ? 1 : 0;
+    g_trace_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_trace_enabled(bool on) {
+  if (on) trace_epoch();  // anchor the timeline before the first span
+  g_trace_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(clock_type::now() -
+                                                   trace_epoch())
+      .count();
+}
+
+std::uint32_t trace_thread_id() { return thread_buffer().tid; }
+
+void trace_record(std::string name, double ts_us, double dur_us,
+                  const char* arg_name, std::int64_t arg_value) {
+  if (!trace_enabled()) return;
+  EventBuffer& buf = thread_buffer();
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = buf.tid;
+  ev.arg_name = arg_name;
+  ev.arg_value = arg_value;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(ev));
+}
+
+void TraceSpan::begin(const char* name) {
+  active_ = true;
+  name_ = name;
+  start_us_ = trace_now_us();
+}
+
+void TraceSpan::begin_owned(std::string name) {
+  active_ = true;
+  name_ = std::move(name);
+  start_us_ = trace_now_us();
+}
+
+void TraceSpan::end() {
+  // Record even if tracing was switched off mid-span: a started span must
+  // not dangle, and flush-after-disable is the normal tool shutdown order.
+  const double now = trace_now_us();
+  EventBuffer& buf = thread_buffer();
+  TraceEvent ev;
+  ev.name = std::move(name_);
+  ev.ts_us = start_us_;
+  ev.dur_us = now - start_us_;
+  ev.tid = buf.tid;
+  ev.arg_name = arg_name_;
+  ev.arg_value = arg_value_;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> trace_events() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  std::vector<TraceEvent> out;
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+void trace_clear() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+std::string trace_to_json() {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& ev : trace_events()) {
+    w.begin_object();
+    w.kv("name", ev.name);
+    w.kv("ph", "X");
+    w.kv("ts", ev.ts_us);
+    w.kv("dur", ev.dur_us);
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", static_cast<std::int64_t>(ev.tid));
+    if (ev.arg_name != nullptr) {
+      w.key("args");
+      w.begin_object();
+      w.kv(ev.arg_name, ev.arg_value);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void write_chrome_trace(const std::string& path) {
+  const std::string json = trace_to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    throw std::runtime_error("write_chrome_trace: short write to " + path);
+  }
+}
+
+}  // namespace odq::obs

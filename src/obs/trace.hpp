@@ -1,0 +1,111 @@
+// Scoped trace-span profiler with Chrome Trace Event Format output.
+//
+// Spans record onto per-thread buffers (one buffer-local mutex each, only
+// ever contended by a concurrent flush) and are written out as "X"
+// (complete) events loadable by chrome://tracing and https://ui.perfetto.dev.
+// Tracing defaults to off and costs one relaxed atomic load per
+// ODQ_TRACE_SPAN when disabled; enable with the ODQ_TRACE environment
+// variable (any non-empty value except "0") or set_trace_enabled(true).
+//
+// Usage:
+//
+//   void step() {
+//     ODQ_TRACE_SPAN("odq.predictor");       // whole-scope span
+//     ...
+//   }
+//   ...
+//   obs::write_chrome_trace("out.trace.json");
+//
+// Span naming follows the "<subsystem>.<phase>" convention described in
+// docs/observability.md. Timestamps are microseconds on a steady clock
+// anchored at the first trace-subsystem touch, so spans from every thread
+// share one timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odq::obs {
+
+// Global tracing switch. Initialized from ODQ_TRACE on first query.
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   // start, microseconds since trace epoch
+  double dur_us = 0.0;  // duration, microseconds
+  std::uint32_t tid = 0;  // compact per-process thread id
+  // Optional numeric argument (emitted under "args"); arg_name == nullptr
+  // means no argument. Must point at a string literal.
+  const char* arg_name = nullptr;
+  std::int64_t arg_value = 0;
+};
+
+// Microseconds since the trace epoch on the shared steady clock.
+double trace_now_us();
+
+// Compact id of the calling thread (stable for the thread's lifetime).
+std::uint32_t trace_thread_id();
+
+// Append a finished span to the calling thread's buffer. No-op when
+// tracing is disabled. `name` is copied.
+void trace_record(std::string name, double ts_us, double dur_us,
+                  const char* arg_name = nullptr, std::int64_t arg_value = 0);
+
+// RAII span: measures construction->destruction and records it.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+  explicit TraceSpan(std::string name) {
+    if (trace_enabled()) begin_owned(std::move(name));
+  }
+  ~TraceSpan() {
+    if (active_) end();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attach one numeric argument shown in the trace viewer. `key` must be a
+  // string literal (stored by pointer).
+  void arg(const char* key, std::int64_t value) {
+    arg_name_ = key;
+    arg_value_ = value;
+  }
+
+ private:
+  void begin(const char* name);
+  void begin_owned(std::string name);
+  void end();
+
+  bool active_ = false;
+  std::string name_;
+  double start_us_ = 0.0;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_value_ = 0;
+};
+
+#define ODQ_TRACE_CONCAT_(a, b) a##b
+#define ODQ_TRACE_CONCAT(a, b) ODQ_TRACE_CONCAT_(a, b)
+// Whole-scope span; `name` may be a literal or a std::string expression.
+#define ODQ_TRACE_SPAN(name) \
+  ::odq::obs::TraceSpan ODQ_TRACE_CONCAT(odq_trace_span_, __LINE__)(name)
+
+// Snapshot of every recorded event (all threads), in recording order per
+// thread. Used by tests; flushing to JSON is the normal consumption path.
+std::vector<TraceEvent> trace_events();
+
+// Drop all recorded events (buffers stay registered).
+void trace_clear();
+
+// Chrome Trace Event Format, {"traceEvents":[...]} flavor. Returns the
+// serialized JSON; write_chrome_trace() saves it to a file (throws
+// std::runtime_error when the file cannot be written).
+std::string trace_to_json();
+void write_chrome_trace(const std::string& path);
+
+}  // namespace odq::obs

@@ -1,5 +1,7 @@
 #include "quant/static_executor.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace odq::quant {
@@ -9,7 +11,13 @@ tensor::Tensor StaticQuantConvExecutor::run(const tensor::Tensor& input,
                                             const tensor::Tensor& bias,
                                             std::int64_t stride,
                                             std::int64_t pad,
-                                            int /*conv_id*/) {
+                                            int conv_id) {
+  obs::TraceSpan span("static_quant.conv");
+  span.arg("conv_id", conv_id);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& calls = obs::counter("static_quant.conv.calls");
+    calls.increment();
+  }
   // Both the fake-quantize passes and conv2d_direct run tiled on the global
   // thread pool, so this baseline is benchmarked on the same footing as the
   // parallel ODQ and DRQ executors.

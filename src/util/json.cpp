@@ -1,0 +1,113 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace odq::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_.push_back(',');
+    has_elem_.back() = true;
+  }
+}
+
+void JsonWriter::open(char c) {
+  comma_for_value();
+  out_.push_back(c);
+  has_elem_.push_back(false);
+}
+
+void JsonWriter::close(char c) {
+  assert(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_.push_back(c);
+}
+
+void JsonWriter::begin_object() { open('{'); }
+void JsonWriter::end_object() { close('}'); }
+void JsonWriter::begin_array() { open('['); }
+void JsonWriter::end_array() { close(']'); }
+
+void JsonWriter::key(const std::string& k) {
+  assert(!after_key_);
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_.push_back(',');
+    has_elem_.back() = true;
+  }
+  out_ += json_escape(k);
+  out_.push_back(':');
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma_for_value();
+  out_ += json_escape(v);
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value_null() {
+  comma_for_value();
+  out_ += "null";
+}
+
+}  // namespace odq::util

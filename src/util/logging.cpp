@@ -2,16 +2,30 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 namespace odq::util {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1: uninitialized
-std::mutex g_sink_mutex;
+
+// Monotonic seconds since the first logging call, shared by all threads.
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+// Compact per-process thread id (0, 1, 2, ... in first-log order) — far
+// easier to correlate across lines than pthread handles.
+unsigned log_thread_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -70,8 +84,22 @@ void log_message(LogLevel level, const char* file, int line, const char* fmt,
   std::vsnprintf(body, sizeof(body), fmt, args);
   va_end(args);
 
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), base, line, body);
+  // Format the whole line into one buffer and emit it with a single
+  // fwrite: POSIX stdio locks the stream per call, so concurrent
+  // log_message calls can never interleave within a line.
+  char full[2304];
+  const int len =
+      std::snprintf(full, sizeof(full), "[%12.6f t%02u %s %s:%d] %s\n",
+                    monotonic_seconds(), log_thread_id(), level_name(level),
+                    base, line, body);
+  if (len > 0) {
+    std::size_t n = static_cast<std::size_t>(len);
+    if (n >= sizeof(full)) {  // truncated: keep the trailing newline
+      n = sizeof(full) - 1;
+      full[n - 1] = '\n';
+    }
+    std::fwrite(full, 1, n, stderr);
+  }
 }
 
 }  // namespace odq::util

@@ -4,10 +4,32 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace odq::util {
 
 namespace {
 thread_local bool t_in_worker = false;
+
+// Observability handles, resolved once. Recording is a no-op (one relaxed
+// load inside the metric) while ODQ_METRICS is off.
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::counter("threadpool.tasks");
+  return c;
+}
+obs::Counter& busy_us_counter() {
+  static obs::Counter& c = obs::counter("threadpool.worker_busy_us");
+  return c;
+}
+obs::Distribution& queue_wait_dist() {
+  static obs::Distribution& d =
+      obs::distribution("threadpool.queue_wait_us", 0.0, 10000.0, 64);
+  return d;
+}
+
+bool observing() { return obs::metrics_enabled() || obs::trace_enabled(); }
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -30,9 +52,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const double enqueue_us = observing() ? obs::trace_now_us() : 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), enqueue_us});
     ++in_flight_;
   }
   task_cv_.notify_one();
@@ -48,7 +71,7 @@ bool ThreadPool::in_worker() { return t_in_worker; }
 void ThreadPool::worker_loop() {
   t_in_worker = true;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -56,7 +79,19 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (observing()) {
+      const double start_us = obs::trace_now_us();
+      if (task.enqueue_us > 0.0) {
+        queue_wait_dist().record(start_us - task.enqueue_us);
+      }
+      task.fn();
+      const double end_us = obs::trace_now_us();
+      tasks_counter().increment();
+      busy_us_counter().add(static_cast<std::int64_t>(end_us - start_us));
+      obs::trace_record("pool.task", start_us, end_us - start_us);
+    } else {
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) idle_cv_.notify_all();
@@ -80,6 +115,8 @@ void parallel_for_dispatch(
     std::int64_t grain) {
   // The template fast path already handled n <= 0, nested calls, single
   // worker, and n <= grain — this only runs when work really fans out.
+  obs::TraceSpan span("pool.parallel_for");
+  span.arg("n", n);
   ThreadPool& pool = ThreadPool::global();
   const auto workers = static_cast<std::int64_t>(pool.size());
   const std::int64_t chunks = std::min(workers * 4, (n + grain - 1) / grain);

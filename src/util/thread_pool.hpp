@@ -44,10 +44,17 @@ class ThreadPool {
   static bool in_worker();
 
  private:
+  // A queued task plus its enqueue timestamp (µs on the obs trace clock;
+  // 0 when observability is off) so workers can report queue-wait time.
+  struct Task {
+    std::function<void()> fn;
+    double enqueue_us = 0.0;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable task_cv_;
   std::condition_variable idle_cv_;

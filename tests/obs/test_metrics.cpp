@@ -1,0 +1,152 @@
+// Metrics registry: sharded recording, deterministic snapshots, JSON form.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "json_checker.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace odq {
+namespace {
+
+// Match test_trace.cpp: a 4-worker global pool, sized before first use.
+const int kForcePoolSize = [] {
+  ::setenv("ODQ_THREADS", "4", 1);
+  return 4;
+}();
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_metrics_enabled(true);
+    obs::metrics_reset();
+  }
+  void TearDown() override {
+    obs::metrics_reset();
+    obs::set_metrics_enabled(false);
+  }
+};
+
+std::vector<obs::MetricValue> snapshot_of(const std::string& name) {
+  std::vector<obs::MetricValue> out;
+  for (const obs::MetricValue& m : obs::metrics_snapshot()) {
+    if (m.name == name) out.push_back(m);
+  }
+  return out;
+}
+
+TEST_F(MetricsTest, DisabledRecordsNothing) {
+  obs::Counter& c = obs::counter("t.disabled.counter");
+  obs::Distribution& d = obs::distribution("t.disabled.dist", 0.0, 1.0, 8);
+  obs::set_metrics_enabled(false);
+  c.add(5);
+  d.record(0.5);
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_EQ(d.stats().count(), 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameObjectAndChecksKinds) {
+  obs::Counter& a = obs::counter("t.registry.name");
+  obs::Counter& b = obs::counter("t.registry.name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(obs::gauge("t.registry.name"), std::invalid_argument);
+  EXPECT_THROW(obs::distribution("t.registry.name"), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, ParallelCountsMatchSerialExactly) {
+  constexpr std::int64_t kN = 10000;
+  obs::Counter& serial = obs::counter("t.det.serial");
+  obs::Counter& parallel = obs::counter("t.det.parallel");
+  obs::Distribution& sd = obs::distribution("t.det.sdist", 0.0, 100.0, 16);
+  obs::Distribution& pd = obs::distribution("t.det.pdist", 0.0, 100.0, 16);
+
+  for (std::int64_t i = 0; i < kN; ++i) {
+    serial.add(i % 7);
+    sd.record(static_cast<double>(i % 100));
+  }
+  util::parallel_for(
+      kN,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          parallel.add(i % 7);
+          pd.record(static_cast<double>(i % 100));
+        }
+      },
+      /*grain=*/64);
+
+  // Counter totals and distribution moments merge to the serial answer no
+  // matter how the work was sharded.
+  EXPECT_EQ(parallel.total(), serial.total());
+  const util::RunningStats s = sd.stats(), p = pd.stats();
+  EXPECT_EQ(p.count(), s.count());
+  EXPECT_DOUBLE_EQ(p.sum(), s.sum());
+  EXPECT_DOUBLE_EQ(p.min(), s.min());
+  EXPECT_DOUBLE_EQ(p.max(), s.max());
+  EXPECT_NEAR(p.mean(), s.mean(), 1e-9);
+  // Histograms agree bin by bin.
+  const util::Histogram hs = sd.histogram(), hp = pd.histogram();
+  ASSERT_EQ(hp.bins(), hs.bins());
+  EXPECT_EQ(hp.total(), hs.total());
+  for (std::size_t i = 0; i < hs.bins(); ++i) {
+    EXPECT_EQ(hp.count(i), hs.count(i)) << "bin " << i;
+  }
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndTyped) {
+  obs::counter("t.snap.b").add(2);
+  obs::gauge("t.snap.a").set(1.5);
+  obs::distribution("t.snap.c", 0.0, 10.0, 4).record(3.0);
+
+  const std::vector<obs::MetricValue> snap = obs::metrics_snapshot();
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  ASSERT_EQ(snapshot_of("t.snap.a").size(), 1u);
+  EXPECT_EQ(snapshot_of("t.snap.a")[0].kind,
+            obs::MetricValue::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(snapshot_of("t.snap.a")[0].value, 1.5);
+  EXPECT_EQ(snapshot_of("t.snap.b")[0].count, 2);
+  const obs::MetricValue dist = snapshot_of("t.snap.c")[0];
+  EXPECT_EQ(dist.kind, obs::MetricValue::Kind::kDistribution);
+  EXPECT_EQ(dist.count, 1);
+  EXPECT_DOUBLE_EQ(dist.value, 3.0);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsHandles) {
+  obs::Counter& c = obs::counter("t.reset.c");
+  obs::Distribution& d = obs::distribution("t.reset.d", 0.0, 1.0, 4);
+  c.add(7);
+  d.record(0.25);
+  obs::metrics_reset();
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_EQ(d.stats().count(), 0u);
+  c.add(1);
+  EXPECT_EQ(c.total(), 1);
+}
+
+TEST_F(MetricsTest, JsonSnapshotParses) {
+  obs::counter("t.json.counter").add(3);
+  obs::gauge("t.json.gauge").set(0.5);
+  obs::distribution("t.json.dist", 0.0, 1.0, 4).record(0.75);
+
+  util::JsonWriter w;
+  obs::metrics_to_json(w);
+  const testjson::Value doc = testjson::parse(w.take());
+  ASSERT_EQ(doc.kind, testjson::Value::Kind::kObject);
+  EXPECT_EQ(doc.at("t.json.counter").at("type").str, "counter");
+  EXPECT_EQ(doc.at("t.json.counter").at("count").num, 3.0);
+  EXPECT_EQ(doc.at("t.json.gauge").at("type").str, "gauge");
+  EXPECT_EQ(doc.at("t.json.dist").at("type").str, "distribution");
+  EXPECT_EQ(doc.at("t.json.dist").at("count").num, 1.0);
+  EXPECT_EQ(doc.at("t.json.dist").at("mean").num, 0.75);
+}
+
+}  // namespace
+}  // namespace odq

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <sstream>
+#include <string>
+
 namespace odq::util {
 namespace {
 
@@ -36,6 +40,55 @@ TEST(Logging, MacroRespectsLevel) {
   ODQ_LOG_ERROR("suppressed %s", "too");
   set_log_level(prev);
   SUCCEED();
+}
+
+TEST(Logging, LineCarriesTimestampThreadIdAndLocation) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  ODQ_LOG_INFO("hello %d", 7);
+  const std::string line = ::testing::internal::GetCapturedStderr();
+  set_log_level(prev);
+
+  // "[<monotonic seconds> t<NN> INFO test_logging.cpp:<line>] hello 7\n"
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line.back(), '\n');
+
+  std::istringstream head(line.substr(1));
+  double seconds = -1.0;
+  head >> seconds;
+  EXPECT_GE(seconds, 0.0) << "first field must be a monotonic timestamp";
+
+  std::string tid_tok;
+  head >> tid_tok;
+  ASSERT_GE(tid_tok.size(), 2u);
+  EXPECT_EQ(tid_tok[0], 't') << "second field must be the thread id";
+  for (std::size_t i = 1; i < tid_tok.size(); ++i) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(tid_tok[i])) != 0);
+  }
+
+  EXPECT_NE(line.find(" INFO "), std::string::npos);
+  EXPECT_NE(line.find("test_logging.cpp:"), std::string::npos);
+  EXPECT_NE(line.find("] hello 7\n"), std::string::npos);
+}
+
+TEST(Logging, MonotonicTimestampsIncrease) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  ODQ_LOG_INFO("first");
+  ODQ_LOG_INFO("second");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  set_log_level(prev);
+
+  std::istringstream lines(out);
+  std::string l1, l2;
+  ASSERT_TRUE(static_cast<bool>(std::getline(lines, l1)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(lines, l2)));
+  const double t1 = std::stod(l1.substr(1));
+  const double t2 = std::stod(l2.substr(1));
+  EXPECT_LE(t1, t2);
 }
 
 }  // namespace

@@ -61,6 +61,56 @@ TEST(RunningStats, MergeWithEmptyIsNoop) {
   EXPECT_DOUBLE_EQ(a.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeEmptyIntoEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.sum(), 0.0);
+}
+
+TEST(RunningStats, MergeNonEmptyIntoEmpty) {
+  RunningStats empty, b;
+  b.add(2.0);
+  b.add(6.0);
+  empty.merge(b);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 6.0);
+  EXPECT_DOUBLE_EQ(empty.sum(), 8.0);
+}
+
+TEST(RunningStats, MergedVarianceMatchesDirectComputation) {
+  // Shard the same sequence three ways; the merged moments must agree with
+  // the direct two-pass variance, not just with streaming single-shard adds.
+  std::vector<double> xs;
+  for (int i = 0; i < 97; ++i) xs.push_back(std::cos(i * 1.3) * 5 + i * 0.02);
+  RunningStats shards[3], merged;
+  for (std::size_t i = 0; i < xs.size(); ++i) shards[i % 3].add(xs[i]);
+  for (auto& s : shards) merged.merge(s);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+
+  EXPECT_EQ(merged.count(), xs.size());
+  EXPECT_NEAR(merged.mean(), mean, 1e-12);
+  EXPECT_NEAR(merged.variance(), var, 1e-9);
+}
+
+TEST(Percentile, SingleElementIsConstantInQ) {
+  std::vector<double> v{7.5};
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, q), 7.5) << "q=" << q;
+  }
+}
+
 TEST(Percentile, MedianOfOddSample) {
   EXPECT_DOUBLE_EQ(percentile(std::vector<double>{3.0, 1.0, 2.0}, 0.5), 2.0);
 }
@@ -112,6 +162,27 @@ TEST(Histogram, ClampsOutOfRange) {
   h.add(99.0);
   EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, ExactEdgesClampWithoutDroppingMass) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.0);   // lower edge: first bin
+  h.add(1.0);   // upper edge: [lo, hi) puts hi in the (clamped) last bin
+  h.add(0.25);  // interior bin boundary belongs to the higher bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, AddNCountsTowardTotals) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_n(0.1, 5);
+  h.add_n(0.9, 0);  // n == 0 adds nothing
+  h.add_n(7.0, 2);  // clamps into the last bin, still counted
+  EXPECT_EQ(h.count(0), 5u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.total(), 7u);
 }
 
 TEST(Histogram, BinEdges) {
