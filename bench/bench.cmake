@@ -2,9 +2,26 @@
 # Included from the top-level CMakeLists so build/bench/ contains only
 # executables.
 
+# Provenance header (git SHA + build flags) regenerated on every build but
+# only rewritten when stale; bench JSON documents embed it so odq_bench_diff
+# can report exactly which build produced each baseline.
+set(ODQ_BUILD_INFO_DIR ${CMAKE_BINARY_DIR}/generated)
+string(TOUPPER "${CMAKE_BUILD_TYPE}" ODQ_BUILD_CONFIG_UPPER)
+add_custom_target(odq_build_info
+  COMMAND ${CMAKE_COMMAND}
+    -DOUT=${ODQ_BUILD_INFO_DIR}/odq_build_info.h
+    -DSRC_DIR=${CMAKE_SOURCE_DIR}
+    "-DBUILD_TYPE=${CMAKE_BUILD_TYPE}"
+    "-DBUILD_FLAGS=${CMAKE_CXX_FLAGS} ${CMAKE_CXX_FLAGS_${ODQ_BUILD_CONFIG_UPPER}}"
+    -P ${CMAKE_SOURCE_DIR}/cmake/git_sha.cmake
+  BYPRODUCTS ${ODQ_BUILD_INFO_DIR}/odq_build_info.h
+  COMMENT "Refreshing odq_build_info.h")
+
 add_library(odq_bench_common STATIC ${CMAKE_SOURCE_DIR}/bench/common.cpp)
 target_link_libraries(odq_bench_common PUBLIC odq)
 target_include_directories(odq_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+target_include_directories(odq_bench_common PRIVATE ${ODQ_BUILD_INFO_DIR})
+add_dependencies(odq_bench_common odq_build_info)
 
 function(odq_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)

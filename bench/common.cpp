@@ -12,6 +12,7 @@
 
 #include "nn/init.hpp"
 #include "nn/models.hpp"
+#include "odq_build_info.h"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -445,6 +446,11 @@ void json_flush() {
   w.kv("bench", s.bench_name);
   w.kv("reproduces", s.reproduces);
   w.kv("scale", scale().name);
+  // Build provenance (cmake/git_sha.cmake): which checkout and flags
+  // produced these numbers. odq_bench_diff prints these alongside a diff.
+  w.kv("git_sha", ODQ_GIT_SHA);
+  w.kv("build_type", ODQ_BUILD_TYPE);
+  w.kv("build_flags", ODQ_BUILD_FLAGS);
   w.key("rows");
   w.begin_array();
   for (const JsonRow& row : s.rows) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/fidelity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -79,6 +80,28 @@ Tensor dequantize_with_bias(const TensorI32& acc, float scale,
       },
       /*grain=*/1);
   return out;
+}
+
+// Fidelity attribution for one finished ODQ conv (obs/fidelity.hpp): runs
+// the FP32 reference conv and dequantizes the predictor-only accumulators,
+// then records scheme/predictor/mask-side errors plus the |predictor|
+// magnitude histogram. Only ever called when fidelity is enabled — the
+// reference conv makes this path deliberately expensive.
+void record_odq_fidelity(const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, std::int64_t stride,
+                         std::int64_t pad, const OdqConfig& cfg,
+                         const OdqConvResult& r, const Tensor& out, int layer) {
+  ODQ_TRACE_SPAN("odq.fidelity");
+  const Tensor ref = tensor::conv2d_direct(input, weight, bias, stride, pad);
+  const Tensor pred_out = dequantize_with_bias(r.predictor_acc, r.scale, bias);
+  std::vector<float> pred_mag(static_cast<std::size_t>(out.numel()));
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    pred_mag[static_cast<std::size_t>(i)] =
+        std::abs(static_cast<float>(r.predictor_acc[i]) * r.scale);
+  }
+  obs::fidelity_record_odq("odq", layer, cfg.threshold, ref.data(), out.data(),
+                           pred_out.data(), pred_mag.data(), r.mask.data(),
+                           out.numel());
 }
 
 void check_bits(const QTensor& input, const QTensor& weight,
@@ -366,6 +389,10 @@ Tensor odq_conv_float(const Tensor& input, const Tensor& weight,
   OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg);
 
   Tensor out = dequantize_with_bias(r.acc, r.scale, bias);
+  if (obs::fidelity_enabled()) {
+    record_odq_fidelity(input, weight, bias, stride, pad, cfg, r, out,
+                        /*layer=*/-1);
+  }
   if (stats != nullptr) *stats = r.stats;
   if (mask_out != nullptr) *mask_out = std::move(r.mask);
   return out;
@@ -381,6 +408,10 @@ Tensor OdqConvExecutor::run(const Tensor& input, const Tensor& weight,
   OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg_);
 
   Tensor out = dequantize_with_bias(r.acc, r.scale, bias);
+  if (obs::fidelity_enabled()) {
+    record_odq_fidelity(input, weight, bias, stride, pad, cfg_, r, out,
+                        conv_id);
+  }
 
   // Calibration subsampling happens in a call-local buffer; the shared
   // state below is only touched under one short lock (concurrent run()

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/fidelity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "quant/quantizer.hpp"
@@ -164,7 +165,12 @@ Tensor DrqConvExecutor::run(const Tensor& input, const Tensor& weight,
     calls.increment();
     frac.record(sens);
   }
-  return drq_conv(input, weight, bias, stride, pad, cfg, &mask);
+  Tensor out = drq_conv(input, weight, bias, stride, pad, cfg, &mask);
+  if (obs::fidelity_enabled()) {
+    const Tensor ref = tensor::conv2d_direct(input, weight, bias, stride, pad);
+    obs::fidelity_record(name(), conv_id, ref.data(), out.data(), out.numel());
+  }
+  return out;
 }
 
 DrqLayerStats DrqConvExecutor::layer_stats(int id) const {

@@ -1,0 +1,254 @@
+#include "obs/fidelity.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace odq::obs {
+
+namespace {
+
+std::atomic<int> g_fidelity_enabled{-1};  // -1: read ODQ_FIDELITY on first use
+
+struct Cell {
+  std::int64_t calls = 0;
+  float threshold = 0.0f;
+  ErrorAccum total;
+  ErrorAccum predictor;
+  ErrorAccum sensitive;
+  ErrorAccum insensitive;
+  double hist_lo = 0.0;
+  double hist_hi = 0.0;
+  std::vector<std::uint64_t> hist;  // empty until the first ODQ record
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::pair<std::string, int>, Cell> cells;
+};
+
+// Leaked on purpose: executors may record during static destruction.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+// Histogram bounds for a cell: anchored at the threshold when there is one
+// (the overlay point lands on an exact bin edge at 1/4 of the range), else
+// a unit range. The last bin absorbs overflow, the first clamps negatives.
+double hist_hi_for(float threshold) {
+  return threshold > 0.0f ? 4.0 * static_cast<double>(threshold) : 1.0;
+}
+
+void hist_add(Cell& c, double x) {
+  const double w = (c.hist_hi - c.hist_lo) / static_cast<double>(c.hist.size());
+  auto bin = static_cast<std::int64_t>((x - c.hist_lo) / w);
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(c.hist.size()) - 1);
+  ++c.hist[static_cast<std::size_t>(bin)];
+}
+
+}  // namespace
+
+bool fidelity_enabled() {
+  int v = g_fidelity_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("ODQ_FIDELITY");
+    v = (env != nullptr && env[0] != '\0' && std::string(env) != "0") ? 1 : 0;
+    g_fidelity_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_fidelity_enabled(bool on) {
+  g_fidelity_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+double ErrorAccum::sqnr_db() const {
+  if (count == 0) return 0.0;
+  if (err_sq <= 0.0) return 300.0;  // exact match
+  if (ref_sq <= 0.0) return -300.0;
+  return std::clamp(10.0 * std::log10(ref_sq / err_sq), -300.0, 300.0);
+}
+
+double ErrorAccum::cosine() const {
+  const double denom = std::sqrt(ref_sq) * std::sqrt(out_sq);
+  if (denom <= 0.0) return 1.0;
+  return dot / denom;
+}
+
+double ErrorAccum::rmse() const {
+  return count > 0 ? std::sqrt(err_sq / static_cast<double>(count)) : 0.0;
+}
+
+void ErrorAccum::add(double ref, double out) {
+  const double err = out - ref;
+  ++count;
+  ref_sq += ref * ref;
+  out_sq += out * out;
+  dot += ref * out;
+  err_sq += err * err;
+  err_abs += std::abs(err);
+  err_max = std::max(err_max, std::abs(err));
+}
+
+void ErrorAccum::merge(const ErrorAccum& other) {
+  count += other.count;
+  ref_sq += other.ref_sq;
+  out_sq += other.out_sq;
+  dot += other.dot;
+  err_sq += other.err_sq;
+  err_abs += other.err_abs;
+  err_max = std::max(err_max, other.err_max);
+}
+
+std::uint64_t FidelityLayerSnapshot::hist_total() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t c : hist) t += c;
+  return t;
+}
+
+double FidelityLayerSnapshot::hist_fraction_above(double t) const {
+  const std::uint64_t total = hist_total();
+  if (total == 0 || hist.empty()) return 0.0;
+  const double w = (hist_hi - hist_lo) / static_cast<double>(hist.size());
+  std::uint64_t above = 0;
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    if (hist_lo + static_cast<double>(b) * w >= t) above += hist[b];
+  }
+  return static_cast<double>(above) / static_cast<double>(total);
+}
+
+void fidelity_record(const std::string& scheme, int layer, const float* ref,
+                     const float* out, std::int64_t n) {
+  if (!fidelity_enabled()) return;
+  ErrorAccum acc;
+  for (std::int64_t i = 0; i < n; ++i) acc.add(ref[i], out[i]);
+
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Cell& c = r.cells[{scheme, layer}];
+  ++c.calls;
+  c.total.merge(acc);
+}
+
+void fidelity_record_odq(const std::string& scheme, int layer, float threshold,
+                         const float* ref, const float* full,
+                         const float* pred_out, const float* pred_mag,
+                         const std::uint8_t* mask, std::int64_t n) {
+  if (!fidelity_enabled()) return;
+  ErrorAccum total, predictor, sens, insens;
+  for (std::int64_t i = 0; i < n; ++i) {
+    total.add(ref[i], full[i]);
+    predictor.add(ref[i], pred_out[i]);
+    if (mask[i] != 0) {
+      sens.add(ref[i], full[i]);
+    } else {
+      insens.add(ref[i], full[i]);
+    }
+  }
+
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Cell& c = r.cells[{scheme, layer}];
+  ++c.calls;
+  c.threshold = threshold;
+  c.total.merge(total);
+  c.predictor.merge(predictor);
+  c.sensitive.merge(sens);
+  c.insensitive.merge(insens);
+  if (c.hist.empty()) {
+    c.hist_lo = 0.0;
+    c.hist_hi = hist_hi_for(threshold);
+    c.hist.assign(kFidelityHistBins, 0);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    hist_add(c, static_cast<double>(pred_mag[i]));
+  }
+}
+
+std::vector<FidelityLayerSnapshot> fidelity_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<FidelityLayerSnapshot> out;
+  out.reserve(r.cells.size());
+  for (const auto& [key, c] : r.cells) {
+    FidelityLayerSnapshot s;
+    s.scheme = key.first;
+    s.layer = key.second;
+    s.calls = c.calls;
+    s.threshold = c.threshold;
+    s.total = c.total;
+    s.predictor = c.predictor;
+    s.sensitive = c.sensitive;
+    s.insensitive = c.insensitive;
+    s.hist_lo = c.hist_lo;
+    s.hist_hi = c.hist_hi;
+    s.hist = c.hist;
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already (scheme, layer)-sorted
+}
+
+void fidelity_reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.cells.clear();
+}
+
+namespace {
+
+void accum_to_json(util::JsonWriter& w, const std::string& key,
+                   const ErrorAccum& a) {
+  w.key(key);
+  w.begin_object();
+  w.kv("count", a.count);
+  w.kv("sqnr_db", a.sqnr_db());
+  w.kv("cosine", a.cosine());
+  w.kv("max_abs_err", a.err_max);
+  w.kv("mean_abs_err", a.mean_abs_err());
+  w.kv("rmse", a.rmse());
+  w.end_object();
+}
+
+}  // namespace
+
+void fidelity_to_json(util::JsonWriter& w) {
+  w.begin_array();
+  for (const FidelityLayerSnapshot& s : fidelity_snapshot()) {
+    w.begin_object();
+    w.kv("scheme", s.scheme);
+    w.kv("layer", static_cast<std::int64_t>(s.layer));
+    w.kv("calls", s.calls);
+    accum_to_json(w, "total", s.total);
+    if (s.predictor.count > 0) {
+      w.kv("threshold", static_cast<double>(s.threshold));
+      accum_to_json(w, "predictor_only", s.predictor);
+      accum_to_json(w, "sensitive", s.sensitive);
+      accum_to_json(w, "insensitive", s.insensitive);
+    }
+    if (!s.hist.empty()) {
+      w.key("pred_magnitude_hist");
+      w.begin_object();
+      w.kv("lo", s.hist_lo);
+      w.kv("hi", s.hist_hi);
+      w.kv("fraction_above_threshold",
+           s.hist_fraction_above(static_cast<double>(s.threshold)));
+      w.key("counts");
+      w.begin_array();
+      for (std::uint64_t c : s.hist) w.value(static_cast<std::uint64_t>(c));
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace odq::obs

@@ -15,6 +15,56 @@ namespace odq::obs {
 namespace {
 
 std::atomic<int> g_trace_enabled{-1};  // -1: read ODQ_TRACE on first use
+std::atomic<std::uint64_t> g_dropped_events{0};
+
+// Per-thread span-buffer capacity; saturation increments the dropped-events
+// counter instead of growing without bound (or silently losing data).
+std::size_t trace_max_events() {
+  static const std::size_t cap = [] {
+    const char* env = std::getenv("ODQ_TRACE_MAX_EVENTS");
+    if (env != nullptr && env[0] != '\0') {
+      const long long v = std::atoll(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(1) << 20;  // 1M events per thread
+  }();
+  return cap;
+}
+
+// At-exit flush destination (guarded by its own mutex: tools may set it
+// while workers record).
+struct FlushState {
+  std::mutex mutex;
+  std::string path;
+  bool atexit_registered = false;
+};
+
+FlushState& flush_state() {
+  static FlushState* s = new FlushState;  // leaked: used during exit
+  return *s;
+}
+
+void flush_trace_at_exit() {
+  std::string path;
+  {
+    FlushState& s = flush_state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    path = s.path;
+  }
+  if (path.empty()) return;
+  try {
+    write_chrome_trace(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "odq trace flush: %s\n", e.what());
+  }
+}
+
+// True when an ODQ_TRACE value names an output file rather than acting as
+// a pure on/off switch.
+bool env_value_is_path(const std::string& v) {
+  return v.find('/') != std::string::npos ||
+         (v.size() > 5 && v.compare(v.size() - 5, 5, ".json") == 0);
+}
 
 using clock_type = std::chrono::steady_clock;
 
@@ -58,15 +108,40 @@ bool trace_enabled() {
   int v = g_trace_enabled.load(std::memory_order_relaxed);
   if (v < 0) {
     const char* env = std::getenv("ODQ_TRACE");
-    v = (env != nullptr && env[0] != '\0' && std::string(env) != "0") ? 1 : 0;
+    const std::string val = env != nullptr ? env : "";
+    v = (!val.empty() && val != "0") ? 1 : 0;
+    if (v != 0 && env_value_is_path(val)) trace_set_flush_path(val);
     g_trace_enabled.store(v, std::memory_order_relaxed);
   }
   return v != 0;
 }
 
+namespace {
+
+// Probe ODQ_TRACE at static init so a file-valued setting registers its
+// at-exit flush even when the process throws before the first span —
+// the run then leaves an empty-but-valid trace instead of nothing.
+const bool g_trace_env_probe = trace_enabled();
+
+}  // namespace
+
 void set_trace_enabled(bool on) {
   if (on) trace_epoch();  // anchor the timeline before the first span
   g_trace_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void trace_set_flush_path(const std::string& path) {
+  FlushState& s = flush_state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.path = path;
+  if (!path.empty() && !s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit(flush_trace_at_exit);
+  }
+}
+
+std::uint64_t trace_dropped_events() {
+  return g_dropped_events.load(std::memory_order_relaxed);
 }
 
 double trace_now_us() {
@@ -89,6 +164,10 @@ void trace_record(std::string name, double ts_us, double dur_us,
   ev.arg_name = arg_name;
   ev.arg_value = arg_value;
   std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= trace_max_events()) {
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   buf.events.push_back(std::move(ev));
 }
 
@@ -117,6 +196,10 @@ void TraceSpan::end() {
   ev.arg_name = arg_name_;
   ev.arg_value = arg_value_;
   std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= trace_max_events()) {
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   buf.events.push_back(std::move(ev));
 }
 
@@ -138,12 +221,15 @@ void trace_clear() {
     std::lock_guard<std::mutex> buf_lock(buf->mutex);
     buf->events.clear();
   }
+  g_dropped_events.store(0, std::memory_order_relaxed);
 }
 
 std::string trace_to_json() {
   util::JsonWriter w;
   w.begin_object();
   w.kv("displayTimeUnit", "ms");
+  // Extra top-level key; trace viewers ignore unknown members.
+  w.kv("droppedEvents", static_cast<std::uint64_t>(trace_dropped_events()));
   w.key("traceEvents");
   w.begin_array();
   for (const TraceEvent& ev : trace_events()) {
@@ -168,15 +254,24 @@ std::string trace_to_json() {
 }
 
 void write_chrome_trace(const std::string& path) {
+  // Write-to-temp + rename: a crash or full disk mid-write leaves the old
+  // file (or nothing) behind, never a truncated, unloadable document.
   const std::string json = trace_to_json();
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
-    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+    throw std::runtime_error("write_chrome_trace: cannot open " + tmp);
   }
   const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool flushed = std::fflush(f) == 0;
   std::fclose(f);
-  if (n != json.size()) {
-    throw std::runtime_error("write_chrome_trace: short write to " + path);
+  if (n != json.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_chrome_trace: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_chrome_trace: cannot rename to " + path);
   }
 }
 

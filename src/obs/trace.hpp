@@ -28,9 +28,25 @@
 
 namespace odq::obs {
 
-// Global tracing switch. Initialized from ODQ_TRACE on first query.
+// Global tracing switch. Initialized from ODQ_TRACE on first query. When
+// the ODQ_TRACE value names a file (contains '/' or ends in ".json"),
+// tracing is enabled AND the trace is flushed to that file at process exit
+// (see trace_set_flush_path), so a tool that returns early after an error
+// still leaves a valid, loadable trace behind.
 bool trace_enabled();
 void set_trace_enabled(bool on);
+
+// Register `path` as an at-exit flush destination (empty disables). The
+// flush handler runs once via std::atexit, writes with write_chrome_trace
+// (tmp file + rename, so the file is valid-or-absent, never truncated) and
+// reports failures on stderr instead of throwing.
+void trace_set_flush_path(const std::string& path);
+
+// Events dropped because a per-thread span buffer reached its capacity
+// (ODQ_TRACE_MAX_EVENTS per thread, default 1M). Monotonic until
+// trace_clear(); also emitted as the top-level "droppedEvents" key of the
+// Chrome trace JSON.
+std::uint64_t trace_dropped_events();
 
 struct TraceEvent {
   std::string name;

@@ -1,5 +1,6 @@
 #include "quant/static_executor.hpp"
 
+#include "obs/fidelity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -26,7 +27,13 @@ tensor::Tensor StaticQuantConvExecutor::run(const tensor::Tensor& input,
       per_channel_
           ? fake_quantize_weights_per_channel(weight, bits_, transform_)
           : fake_quantize_weights(weight, bits_, transform_);
-  return tensor::conv2d_direct(qin, qw, bias, stride, pad);
+  tensor::Tensor out = tensor::conv2d_direct(qin, qw, bias, stride, pad);
+  if (obs::fidelity_enabled()) {
+    const tensor::Tensor ref =
+        tensor::conv2d_direct(input, weight, bias, stride, pad);
+    obs::fidelity_record(name(), conv_id, ref.data(), out.data(), out.numel());
+  }
+  return out;
 }
 
 }  // namespace odq::quant

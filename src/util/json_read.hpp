@@ -1,0 +1,39 @@
+// Minimal recursive-descent JSON reader, the counterpart of JsonWriter.
+// Consumed by the observability tools (odq_bench_diff compares BENCH_*.json
+// documents, odq_fidelity re-reads its own reports in tests) and by the obs
+// tests to validate emitted documents without adding a JSON dependency.
+// Supports the full grammar the writers produce (objects, arrays, strings
+// with \uXXXX escapes, numbers, bools, null). Parse errors throw
+// std::runtime_error.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace odq::util {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+  // Object member access; throws std::runtime_error when missing.
+  const JsonValue& at(const std::string& key) const;
+};
+
+// Parse a complete document (trailing garbage is an error).
+JsonValue json_parse(const std::string& text);
+
+// json_parse over a whole file; throws std::runtime_error when the file
+// cannot be read.
+JsonValue json_parse_file(const std::string& path);
+
+}  // namespace odq::util

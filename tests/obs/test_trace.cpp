@@ -25,6 +25,14 @@ const int kForcePoolSize = [] {
   return 4;
 }();
 
+// Cap per-thread span buffers (read once on first record) so the
+// saturation test below can fill one without recording a million spans.
+// Generous enough that no other test in this binary comes near it.
+const int kForceTraceCap = [] {
+  ::setenv("ODQ_TRACE_MAX_EVENTS", "4096", 1);
+  return 4096;
+}();
+
 class TraceTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -163,6 +171,23 @@ TEST_F(TraceTest, WriteChromeTraceThrowsOnBadPath) {
   { ODQ_TRACE_SPAN("x"); }
   EXPECT_THROW(obs::write_chrome_trace("/nonexistent-dir/x.trace.json"),
                std::runtime_error);
+}
+
+TEST_F(TraceTest, BufferSaturationCountsDroppedEvents) {
+  ASSERT_EQ(obs::trace_dropped_events(), 0u);
+  const int flood = kForceTraceCap + 904;
+  for (int i = 0; i < flood; ++i) {
+    obs::trace_record("test.flood", 0.0, 1.0);
+  }
+  // This thread's buffer holds exactly the cap; the rest were dropped and
+  // counted instead of silently lost or growing without bound.
+  EXPECT_EQ(obs::trace_events().size(), static_cast<std::size_t>(kForceTraceCap));
+  EXPECT_EQ(obs::trace_dropped_events(), 904u);
+  const testjson::Value doc = testjson::parse(obs::trace_to_json());
+  EXPECT_EQ(doc.at("droppedEvents").num, 904.0);
+  // trace_clear() frees the buffers and resets the counter.
+  obs::trace_clear();
+  EXPECT_EQ(obs::trace_dropped_events(), 0u);
 }
 
 }  // namespace

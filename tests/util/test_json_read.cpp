@@ -1,0 +1,83 @@
+// util::json_parse — the reader side of the JSON round trip (JsonWriter is
+// the writer side). Shared by odq_bench_diff, odq_fidelity consumers and
+// the test-side checkers.
+#include "util/json_read.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace odq::util {
+namespace {
+
+TEST(JsonRead, ParsesScalars) {
+  EXPECT_EQ(json_parse("null").kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(json_parse("true").b);
+  EXPECT_FALSE(json_parse("false").b);
+  EXPECT_DOUBLE_EQ(json_parse("-12.5e2").num, -1250.0);
+  EXPECT_EQ(json_parse("\"hi\"").str, "hi");
+}
+
+TEST(JsonRead, ParsesNestedStructure) {
+  const JsonValue v = json_parse(
+      R"({"rows":[{"model":"lenet5","cycles":1000},{"model":"resnet20"}],)"
+      R"("ok":true})");
+  ASSERT_TRUE(v.has("rows"));
+  ASSERT_EQ(v.at("rows").arr.size(), 2u);
+  EXPECT_EQ(v.at("rows").arr[0].at("model").str, "lenet5");
+  EXPECT_DOUBLE_EQ(v.at("rows").arr[0].at("cycles").num, 1000.0);
+  EXPECT_FALSE(v.at("rows").arr[1].has("cycles"));
+  EXPECT_TRUE(v.at("ok").b);
+}
+
+TEST(JsonRead, DecodesEscapes) {
+  const JsonValue v = json_parse(R"("a\"b\\c\n\tA")");
+  EXPECT_EQ(v.str, "a\"b\\c\n\tA");
+}
+
+TEST(JsonRead, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), std::runtime_error);
+  EXPECT_THROW(json_parse("{"), std::runtime_error);
+  EXPECT_THROW(json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"a\":1} x"), std::runtime_error);  // trailing
+  EXPECT_THROW(json_parse("'single'"), std::runtime_error);
+}
+
+TEST(JsonRead, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "bench \"x\"\n");
+  w.kv("value", 2.5);
+  w.kv("count", std::int64_t{-3});
+  w.key("arr");
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.value(std::int64_t{2});
+  w.end_array();
+  w.end_object();
+
+  const JsonValue v = json_parse(w.take());
+  EXPECT_EQ(v.at("name").str, "bench \"x\"\n");
+  EXPECT_DOUBLE_EQ(v.at("value").num, 2.5);
+  EXPECT_DOUBLE_EQ(v.at("count").num, -3.0);
+  ASSERT_EQ(v.at("arr").arr.size(), 2u);
+}
+
+TEST(JsonRead, ParseFileReadsAndReportsMissing) {
+  const std::string path = ::testing::TempDir() + "json_read_test.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"k\": [1, 2, 3]}", f);
+  std::fclose(f);
+  const JsonValue v = json_parse_file(path);
+  EXPECT_EQ(v.at("k").arr.size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_THROW(json_parse_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odq::util

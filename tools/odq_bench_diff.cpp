@@ -1,0 +1,240 @@
+// odq_bench_diff — regression gate over two BENCH_*.json documents.
+//
+//   odq_bench_diff baseline.json current.json [--tol 0.10] [options]
+//
+// Matches rows by (section + every string-valued cell, e.g. the model
+// name), then compares every numeric cell of the baseline against the
+// current document with a relative tolerance. Any cell whose relative
+// change exceeds the tolerance — in either direction; the gate detects
+// *movement*, the reviewer decides the sign — and any baseline row or key
+// missing from the current document is a regression. Exit codes:
+//
+//   0  all compared cells within tolerance
+//   1  at least one regression (or missing row/key)
+//   2  usage / unreadable / unparseable input
+//
+// Wall-clock-ish cells ("seconds"/"wall"/"speedup" key substrings, the
+// "host_wall_clock" section) and provenance metadata (git_sha, build_*)
+// are ignored by default — they legitimately differ across runs and
+// machines. --strict compares them too.
+//
+// Options:
+//   --tol <f>            default relative tolerance (default 0.10)
+//   --tol-key k=f        per-key tolerance override (repeatable, exact key)
+//   --ignore <substr>    also ignore keys containing <substr> (repeatable)
+//   --ignore-section <s> also ignore sections containing <s> (repeatable)
+//   --strict             drop the built-in ignore lists
+//   --quiet              only print regressions and the summary line
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json_read.hpp"
+
+namespace {
+
+using odq::util::JsonValue;
+
+struct Options {
+  std::string baseline_path;
+  std::string current_path;
+  double tol = 0.10;
+  std::map<std::string, double> key_tol;
+  std::vector<std::string> ignore_keys;      // substring match
+  std::vector<std::string> ignore_sections;  // substring match
+  bool quiet = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: odq_bench_diff <baseline.json> <current.json>\n"
+      "                      [--tol f] [--tol-key key=f] [--ignore substr]\n"
+      "                      [--ignore-section substr] [--strict] [--quiet]\n");
+  return 2;
+}
+
+bool contains_any(const std::string& s,
+                  const std::vector<std::string>& substrs) {
+  for (const std::string& sub : substrs) {
+    if (s.find(sub) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Identity of a row: its section plus every string cell, sorted by key, so
+// reordered rows and reordered cells still match.
+std::string row_key(const JsonValue& row) {
+  std::string key;
+  for (const auto& [k, v] : row.obj) {  // std::map: already key-sorted
+    if (v.kind == JsonValue::Kind::kString) {
+      key += k;
+      key += '=';
+      key += v.str;
+      key += '|';
+    }
+  }
+  return key;
+}
+
+std::string row_label(const JsonValue& row) {
+  std::string label;
+  if (row.has("section")) label = row.at("section").str;
+  for (const auto& [k, v] : row.obj) {
+    if (k != "section" && v.kind == JsonValue::Kind::kString) {
+      label += ' ' + k + '=' + v.str;
+    }
+  }
+  return label;
+}
+
+double rel_change(double base, double cur) {
+  const double denom = std::max(std::abs(base), 1e-12);
+  return std::abs(cur - base) / denom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.ignore_keys = {"seconds", "wall", "speedup", "git_sha", "build_"};
+  opt.ignore_sections = {"host_wall_clock"};
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "odq_bench_diff: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--tol") {
+      opt.tol = std::strtod(next("--tol"), nullptr);
+    } else if (a == "--tol-key") {
+      const std::string kv = next("--tol-key");
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) return usage();
+      opt.key_tol[kv.substr(0, eq)] =
+          std::strtod(kv.substr(eq + 1).c_str(), nullptr);
+    } else if (a == "--ignore") {
+      opt.ignore_keys.push_back(next("--ignore"));
+    } else if (a == "--ignore-section") {
+      opt.ignore_sections.push_back(next("--ignore-section"));
+    } else if (a == "--strict") {
+      opt.ignore_keys.clear();
+      opt.ignore_sections.clear();
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() != 2 || opt.tol <= 0.0) return usage();
+  opt.baseline_path = positional[0];
+  opt.current_path = positional[1];
+
+  JsonValue base, cur;
+  try {
+    base = odq::util::json_parse_file(opt.baseline_path);
+    cur = odq::util::json_parse_file(opt.current_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "odq_bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  auto meta = [](const JsonValue& doc, const std::string& key) {
+    return doc.has(key) && doc.at(key).is_string() ? doc.at(key).str
+                                                   : std::string("?");
+  };
+  if (!opt.quiet) {
+    std::printf("baseline: %s  (bench=%s scale=%s sha=%s)\n",
+                opt.baseline_path.c_str(), meta(base, "bench").c_str(),
+                meta(base, "scale").c_str(), meta(base, "git_sha").c_str());
+    std::printf("current:  %s  (bench=%s scale=%s sha=%s)\n",
+                opt.current_path.c_str(), meta(cur, "bench").c_str(),
+                meta(cur, "scale").c_str(), meta(cur, "git_sha").c_str());
+  }
+  if (meta(base, "bench") != meta(cur, "bench")) {
+    std::fprintf(stderr, "odq_bench_diff: warning: comparing different "
+                         "benches (%s vs %s)\n",
+                 meta(base, "bench").c_str(), meta(cur, "bench").c_str());
+  }
+  if (meta(base, "scale") != meta(cur, "scale")) {
+    std::fprintf(stderr, "odq_bench_diff: warning: different scales "
+                         "(%s vs %s) — numbers are not comparable 1:1\n",
+                 meta(base, "scale").c_str(), meta(cur, "scale").c_str());
+  }
+
+  if (!base.has("rows") || !cur.has("rows")) {
+    std::fprintf(stderr, "odq_bench_diff: missing \"rows\" array\n");
+    return 2;
+  }
+
+  std::map<std::string, const JsonValue*> cur_rows;
+  for (const JsonValue& row : cur.at("rows").arr) {
+    cur_rows[row_key(row)] = &row;
+  }
+
+  int compared = 0, ignored = 0, regressions = 0;
+  for (const JsonValue& brow : base.at("rows").arr) {
+    const std::string section =
+        brow.has("section") && brow.at("section").is_string()
+            ? brow.at("section").str
+            : "";
+    if (contains_any(section, opt.ignore_sections)) {
+      ++ignored;
+      continue;
+    }
+    auto it = cur_rows.find(row_key(brow));
+    if (it == cur_rows.end()) {
+      std::printf("MISSING    %s — row not present in current\n",
+                  row_label(brow).c_str());
+      ++regressions;
+      continue;
+    }
+    const JsonValue& crow = *it->second;
+    for (const auto& [key, bval] : brow.obj) {
+      if (bval.kind != JsonValue::Kind::kNumber) continue;
+      if (contains_any(key, opt.ignore_keys)) {
+        ++ignored;
+        continue;
+      }
+      if (!crow.has(key) ||
+          crow.at(key).kind != JsonValue::Kind::kNumber) {
+        std::printf("MISSING    %s key=%s — cell not present in current\n",
+                    row_label(brow).c_str(), key.c_str());
+        ++regressions;
+        continue;
+      }
+      const double b = bval.num;
+      const double c = crow.at(key).num;
+      const auto tol_it = opt.key_tol.find(key);
+      const double tol = tol_it != opt.key_tol.end() ? tol_it->second
+                                                     : opt.tol;
+      ++compared;
+      const double rel = rel_change(b, c);
+      if (rel > tol && std::abs(c - b) > 1e-9) {
+        std::printf(
+            "REGRESSION %s key=%s: base=%.6g cur=%.6g (%+.1f%% > %.0f%%)\n",
+            row_label(brow).c_str(), key.c_str(), b, c, 100.0 * (c - b) /
+                (std::abs(b) > 1e-12 ? std::abs(b) : 1.0),
+            100.0 * tol);
+        ++regressions;
+      } else if (!opt.quiet) {
+        std::printf("ok         %s key=%s: base=%.6g cur=%.6g (%.2f%%)\n",
+                    row_label(brow).c_str(), key.c_str(), b, c, 100.0 * rel);
+      }
+    }
+  }
+
+  std::printf("%d cells compared, %d ignored, %d regressions (tol %.0f%%)\n",
+              compared, ignored, regressions, 100.0 * opt.tol);
+  return regressions > 0 ? 1 : 0;
+}

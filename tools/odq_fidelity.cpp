@@ -1,0 +1,370 @@
+// odq_fidelity — threshold-sweep numerical-fidelity report for ODQ.
+//
+//   odq_fidelity --model lenet5 --sweep --report fidelity.json
+//
+// Builds the requested model, runs one FP32 forward pass as the reference,
+// then re-runs the same batch with the ODQ executor at each sensitivity
+// threshold with the obs fidelity layer enabled. The report is the
+// observability counterpart of the paper's Fig. 22 / Table 3: per threshold
+// it records the sensitive-output fraction (read back from
+// OdqConvExecutor::layer_stats, i.e. the exact counters odq_profile
+// reports), per-layer SQNR / cosine / error attribution from
+// obs::fidelity_snapshot, and two accuracy proxies — label accuracy on the
+// synthetic batch and top-1 agreement with the FP32 forward pass.
+//
+// Options:
+//   --model <name>       lenet5 | resnet20 | resnet56 | vgg16 | densenet
+//   --sweep              sweep the default threshold ladder
+//   --thresholds a,b,c   explicit comma-separated thresholds (implies sweep)
+//   --batch <n>          batch size (default 8)
+//   --width <w>          model width parameter (default 8)
+//   --report <path>      JSON report (default: stdout)
+//   --csv <path>         also mirror per-layer rows into a CSV file
+//   --quiet              suppress the human-readable summary on stderr
+//
+// Without --sweep/--thresholds a single point at --threshold (default 0.15)
+// is measured.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/odq.hpp"
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "obs/fidelity.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace odq;
+
+struct Options {
+  std::string model = "lenet5";
+  std::string report_path;
+  std::string csv_path;
+  std::vector<float> thresholds;
+  float threshold = 0.15f;
+  bool sweep = false;
+  std::int64_t batch = 8;
+  std::int64_t width = 8;
+  bool quiet = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: odq_fidelity [--model lenet5|resnet20|resnet56|vgg16|"
+               "densenet]\n"
+               "                    [--sweep | --thresholds a,b,c] "
+               "[--threshold t]\n"
+               "                    [--batch n] [--width w] [--report out.json]"
+               "\n"
+               "                    [--csv out.csv] [--quiet]\n");
+  return 2;
+}
+
+nn::Model build_model(const Options& opt, int* classes) {
+  *classes = 10;
+  if (opt.model == "lenet" || opt.model == "lenet5") {
+    return nn::make_lenet5(*classes);
+  }
+  if (opt.model == "resnet20") return nn::make_resnet(20, *classes, opt.width);
+  if (opt.model == "resnet56") return nn::make_resnet(56, *classes, opt.width);
+  if (opt.model == "vgg16") return nn::make_vgg16(*classes, opt.width);
+  if (opt.model == "densenet") {
+    return nn::make_densenet(*classes, opt.width / 2 + 2, 3);
+  }
+  throw std::invalid_argument("unknown model " + opt.model);
+}
+
+std::vector<float> parse_thresholds(const char* arg) {
+  std::vector<float> out;
+  const std::string s = arg;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtof(s.substr(pos, comma - pos).c_str(), nullptr));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int> argmax_rows(const tensor::Tensor& logits) {
+  const std::int64_t n = logits.shape()[0];
+  const std::int64_t k = logits.numel() / n;
+  std::vector<int> out(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    int best = 0;
+    for (std::int64_t j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = static_cast<int>(j);
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+double match_fraction(const std::vector<int>& a, const std::vector<int>& b) {
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) hits += a[i] == b[i] ? 1 : 0;
+  return a.empty() ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+// One measured sweep point.
+struct SweepPoint {
+  float threshold = 0.0f;
+  double accuracy = 0.0;        // label accuracy on the batch
+  double fp32_agreement = 0.0;  // top-1 agreement with the FP32 pass
+  double mean_sensitive_fraction = 0.0;
+  double mean_sqnr_db = 0.0;
+  std::vector<core::OdqLayerStats> layer_stats;       // by conv id
+  std::vector<obs::FidelityLayerSnapshot> fidelity;   // "odq" cells, by layer
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "odq_fidelity: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--model") {
+      opt.model = next("--model");
+    } else if (a == "--sweep") {
+      opt.sweep = true;
+    } else if (a == "--thresholds") {
+      opt.thresholds = parse_thresholds(next("--thresholds"));
+      opt.sweep = true;
+    } else if (a == "--threshold") {
+      opt.threshold = std::strtof(next("--threshold"), nullptr);
+    } else if (a == "--report") {
+      opt.report_path = next("--report");
+    } else if (a == "--csv") {
+      opt.csv_path = next("--csv");
+    } else if (a == "--batch") {
+      opt.batch = std::atoll(next("--batch"));
+    } else if (a == "--width") {
+      opt.width = std::atoll(next("--width"));
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.batch <= 0 || opt.width <= 0) return usage();
+  if (opt.sweep && opt.thresholds.empty()) {
+    opt.thresholds = {0.0f,  0.05f, 0.1f, 0.15f,
+                      0.2f,  0.3f,  0.5f, 0.8f};
+  }
+  if (!opt.sweep) opt.thresholds = {opt.threshold};
+
+  try {
+    int classes = 10;
+    nn::Model model = build_model(opt, &classes);
+    nn::kaiming_init(model, 1);
+    const std::size_t num_convs = model.assign_conv_ids().size();
+
+    const bool digits = opt.model == "lenet" || opt.model == "lenet5";
+    data::TrainTest data;
+    if (digits) {
+      data = data::make_synthetic_digits(opt.batch, 1);
+    } else {
+      data::SyntheticConfig dcfg;
+      dcfg.num_classes = classes;
+      dcfg.noise = 0.05f;
+      data = data::make_synthetic_images(dcfg, opt.batch, 1);
+    }
+    const tensor::Shape& ds = data.train.images.shape();
+    tensor::Tensor batch(
+        tensor::Shape{opt.batch, ds[1], ds[2], ds[3]},
+        std::vector<float>(data.train.images.data(),
+                           data.train.images.data() +
+                               opt.batch * ds[1] * ds[2] * ds[3]));
+    std::vector<int> labels(data.train.labels.begin(),
+                            data.train.labels.begin() + opt.batch);
+
+    // FP32 reference pass (no executor).
+    const tensor::Tensor fp32_logits = model.forward(batch, /*train=*/false);
+    const std::vector<int> fp32_top1 = argmax_rows(fp32_logits);
+    const double fp32_accuracy = [&] {
+      std::int64_t hits = 0;
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        hits += fp32_top1[i] == labels[i] ? 1 : 0;
+      }
+      return static_cast<double>(hits) / static_cast<double>(labels.size());
+    }();
+
+    obs::set_fidelity_enabled(true);
+
+    std::vector<SweepPoint> points;
+    for (float thr : opt.thresholds) {
+      obs::fidelity_reset();
+      core::OdqConfig cfg;
+      cfg.threshold = thr;
+      auto exec = std::make_shared<core::OdqConvExecutor>(cfg);
+      model.set_conv_executor(exec);
+      const tensor::Tensor logits = model.forward(batch, /*train=*/false);
+      model.set_conv_executor(nullptr);
+
+      SweepPoint p;
+      p.threshold = thr;
+      const std::vector<int> top1 = argmax_rows(logits);
+      p.fp32_agreement = match_fraction(top1, fp32_top1);
+      {
+        std::int64_t hits = 0;
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          hits += top1[i] == labels[i] ? 1 : 0;
+        }
+        p.accuracy =
+            static_cast<double>(hits) / static_cast<double>(labels.size());
+      }
+      for (std::size_t id = 0; id < num_convs; ++id) {
+        p.layer_stats.push_back(exec->layer_stats(static_cast<int>(id)));
+      }
+      for (obs::FidelityLayerSnapshot& s : obs::fidelity_snapshot()) {
+        if (s.scheme == "odq") p.fidelity.push_back(std::move(s));
+      }
+      double frac_sum = 0.0, sqnr_sum = 0.0;
+      for (const core::OdqLayerStats& s : p.layer_stats) {
+        frac_sum += s.sensitive_fraction();
+      }
+      for (const obs::FidelityLayerSnapshot& s : p.fidelity) {
+        sqnr_sum += s.total.sqnr_db();
+      }
+      p.mean_sensitive_fraction =
+          num_convs > 0 ? frac_sum / static_cast<double>(num_convs) : 0.0;
+      p.mean_sqnr_db = p.fidelity.empty()
+                           ? 0.0
+                           : sqnr_sum / static_cast<double>(p.fidelity.size());
+      points.push_back(std::move(p));
+    }
+    obs::set_fidelity_enabled(false);
+
+    // JSON report.
+    util::JsonWriter w;
+    w.begin_object();
+    w.kv("model", opt.model);
+    w.kv("batch", opt.batch);
+    w.kv("width", opt.width);
+    w.kv("num_conv_layers", static_cast<std::int64_t>(num_convs));
+    w.kv("fp32_accuracy", fp32_accuracy);
+    w.key("sweep");
+    w.begin_array();
+    for (const SweepPoint& p : points) {
+      w.begin_object();
+      w.kv("threshold", static_cast<double>(p.threshold));
+      w.kv("accuracy", p.accuracy);
+      w.kv("fp32_agreement", p.fp32_agreement);
+      w.kv("mean_sensitive_fraction", p.mean_sensitive_fraction);
+      w.kv("mean_sqnr_db", p.mean_sqnr_db);
+      w.key("layers");
+      w.begin_array();
+      for (const obs::FidelityLayerSnapshot& s : p.fidelity) {
+        const auto id = static_cast<std::size_t>(s.layer);
+        const core::OdqLayerStats stats =
+            id < p.layer_stats.size() ? p.layer_stats[id]
+                                      : core::OdqLayerStats{};
+        w.begin_object();
+        w.kv("conv_id", static_cast<std::int64_t>(s.layer));
+        // Exact executor counters (the same numbers odq_profile reports).
+        w.kv("outputs", stats.outputs);
+        w.kv("sensitive", stats.sensitive);
+        w.kv("sensitive_fraction", stats.sensitive_fraction());
+        w.kv("sqnr_db", s.total.sqnr_db());
+        w.kv("cosine", s.total.cosine());
+        w.kv("max_abs_err", s.total.err_max);
+        w.kv("mean_abs_err", s.total.mean_abs_err());
+        w.kv("predictor_sqnr_db", s.predictor.sqnr_db());
+        w.kv("sensitive_sqnr_db", s.sensitive.sqnr_db());
+        w.kv("insensitive_sqnr_db", s.insensitive.sqnr_db());
+        w.kv("pred_mass_above_threshold",
+             s.hist_fraction_above(static_cast<double>(s.threshold)));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    const std::string report = w.take();
+    if (opt.report_path.empty()) {
+      std::printf("%s\n", report.c_str());
+    } else {
+      std::FILE* f = std::fopen(opt.report_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "odq_fidelity: cannot open %s\n",
+                     opt.report_path.c_str());
+        return 1;
+      }
+      std::fwrite(report.data(), 1, report.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+
+    if (!opt.csv_path.empty()) {
+      std::FILE* f = std::fopen(opt.csv_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "odq_fidelity: cannot open %s\n",
+                     opt.csv_path.c_str());
+        return 1;
+      }
+      std::fprintf(f,
+                   "threshold,conv_id,sensitive_fraction,sqnr_db,cosine,"
+                   "max_abs_err,mean_abs_err,predictor_sqnr_db,"
+                   "fp32_agreement,accuracy\n");
+      for (const SweepPoint& p : points) {
+        for (const obs::FidelityLayerSnapshot& s : p.fidelity) {
+          const auto id = static_cast<std::size_t>(s.layer);
+          const core::OdqLayerStats stats =
+              id < p.layer_stats.size() ? p.layer_stats[id]
+                                        : core::OdqLayerStats{};
+          std::fprintf(f, "%.6f,%d,%.6f,%.3f,%.6f,%.6g,%.6g,%.3f,%.4f,%.4f\n",
+                       p.threshold, s.layer, stats.sensitive_fraction(),
+                       s.total.sqnr_db(), s.total.cosine(), s.total.err_max,
+                       s.total.mean_abs_err(), s.predictor.sqnr_db(),
+                       p.fp32_agreement, p.accuracy);
+        }
+      }
+      std::fclose(f);
+    }
+
+    if (!opt.quiet) {
+      std::fprintf(stderr, "%-10s %8s %8s %9s %9s %8s\n", "threshold",
+                   "sens %", "SQNR dB", "pred dB", "agree %", "acc %");
+      for (const SweepPoint& p : points) {
+        double pred_sum = 0.0;
+        for (const obs::FidelityLayerSnapshot& s : p.fidelity) {
+          pred_sum += s.predictor.sqnr_db();
+        }
+        const double pred_mean =
+            p.fidelity.empty()
+                ? 0.0
+                : pred_sum / static_cast<double>(p.fidelity.size());
+        std::fprintf(stderr, "%-10.4f %7.1f%% %8.2f %9.2f %8.1f%% %7.1f%%\n",
+                     p.threshold, 100.0 * p.mean_sensitive_fraction,
+                     p.mean_sqnr_db, pred_mean, 100.0 * p.fp32_agreement,
+                     100.0 * p.accuracy);
+      }
+      if (!opt.report_path.empty()) {
+        std::fprintf(stderr, "report -> %s\n", opt.report_path.c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "odq_fidelity: %s\n", e.what());
+    return 1;
+  }
+}
