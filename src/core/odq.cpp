@@ -7,7 +7,9 @@
 #include "obs/fidelity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "quant/static_executor.hpp"
 #include "tensor/ops.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace odq::core {
@@ -102,6 +104,26 @@ void record_odq_fidelity(const Tensor& input, const Tensor& weight,
   obs::fidelity_record_odq("odq", layer, cfg.threshold, ref.data(), out.data(),
                            pred_out.data(), pred_mag.data(), r.mask.data(),
                            out.numel());
+}
+
+// Returns nullptr when the layer's runtime statistics support the dynamic
+// scheme, else a short reason string. ODQ's sensitivity threshold compares
+// |dequantized predictor| against cfg.threshold — a non-finite threshold
+// never selects anything, and a collapsed or non-finite activation range
+// makes the predictor magnitudes meaningless. One linear scan of the input;
+// negligible next to the conv itself and NaN-safe (a plain max would let
+// NaN slip through std::max's ordering).
+const char* odq_degenerate_reason(const Tensor& input, float threshold) {
+  if (!std::isfinite(threshold)) return "non-finite sensitivity threshold";
+  float amax = 0.0f;
+  const float* p = input.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const float v = p[i];
+    if (!std::isfinite(v)) return "non-finite activation";
+    if (v > amax) amax = v;
+  }
+  if (amax <= 0.0f) return "collapsed activation range (no positive values)";
+  return nullptr;
 }
 
 void check_bits(const QTensor& input, const QTensor& weight,
@@ -403,6 +425,9 @@ Tensor OdqConvExecutor::run(const Tensor& input, const Tensor& weight,
                             std::int64_t pad, int conv_id) {
   obs::TraceSpan span("odq.conv");
   span.arg("conv_id", conv_id);
+  if (const char* reason = odq_degenerate_reason(input, cfg_.threshold)) {
+    return run_fallback(input, weight, bias, stride, pad, conv_id, reason);
+  }
   QTensor qin = quantize_input(input, cfg_);
   QTensor qw = quantize_weight(weight, cfg_);
   OdqConvResult r = odq_conv(qin, qw, stride, pad, cfg_);
@@ -443,6 +468,37 @@ Tensor OdqConvExecutor::run(const Tensor& input, const Tensor& weight,
   return out;
 }
 
+Tensor OdqConvExecutor::run_fallback(const Tensor& input, const Tensor& weight,
+                                     const Tensor& bias, std::int64_t stride,
+                                     std::int64_t pad, int conv_id,
+                                     const char* reason) {
+  obs::TraceSpan span("odq.fallback");
+  span.arg("conv_id", conv_id);
+  static obs::Counter& fallbacks = obs::counter("odq.fallback");
+  fallbacks.increment();
+  bool log_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto id = static_cast<std::size_t>(std::max(conv_id, 0));
+    if (fallback_counts_.size() <= id) fallback_counts_.resize(id + 1, 0);
+    log_now = fallback_counts_[id]++ == 0;
+  }
+  if (log_now) {
+    ODQ_LOG_WARN(
+        "odq: conv %d has %s; serving this layer via the static-INT8 "
+        "fallback",
+        conv_id, reason);
+  }
+  quant::StaticQuantConvExecutor fallback(/*bits=*/8);
+  return fallback.run(input, weight, bias, stride, pad, conv_id);
+}
+
+std::int64_t OdqConvExecutor::fallback_count(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto i = static_cast<std::size_t>(id);
+  return i < fallback_counts_.size() ? fallback_counts_[i] : 0;
+}
+
 OdqLayerStats OdqConvExecutor::layer_stats(int id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto i = static_cast<std::size_t>(id);
@@ -458,6 +514,7 @@ void OdqConvExecutor::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.clear();
   last_channel_counts_.clear();
+  fallback_counts_.clear();
   calib_samples_.clear();
 }
 

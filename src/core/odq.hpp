@@ -115,6 +115,14 @@ tensor::Tensor odq_conv_float(const tensor::Tensor& input,
 // keyed by conv id; optionally records per-layer bit masks and per-channel
 // sensitive counts for the accelerator simulator (the paper dumps binary
 // mask maps from PyTorch into its simulator the same way, §5.2).
+//
+// Graceful degradation: run() validates the layer's quantization
+// parameters first — a non-finite threshold, non-finite activations, or a
+// collapsed activation range (no positive values) makes the sensitivity
+// threshold meaningless — and serves that layer through the static-INT8
+// path instead, incrementing the `odq.fallback` obs counter once per run
+// and logging once per layer. The model keeps serving; docs/robustness.md
+// has the semantics.
 class OdqConvExecutor : public nn::ConvExecutor {
  public:
   explicit OdqConvExecutor(OdqConfig cfg) : cfg_(cfg) {}
@@ -132,6 +140,10 @@ class OdqConvExecutor : public nn::ConvExecutor {
   std::size_t num_layers_seen() const;
   void reset_stats();
 
+  // Runs of conv `id` that were served by the static-INT8 fallback since
+  // construction / the last reset_stats().
+  std::int64_t fallback_count(int id) const;
+
   // Per-output-channel sensitive counts of the *last* call per layer
   // (workload-balance input for the accelerator sim).
   std::vector<std::int64_t> last_sensitive_per_channel(int id) const;
@@ -144,11 +156,18 @@ class OdqConvExecutor : public nn::ConvExecutor {
   std::vector<float> calibration_samples() const;
 
  private:
+  tensor::Tensor run_fallback(const tensor::Tensor& input,
+                              const tensor::Tensor& weight,
+                              const tensor::Tensor& bias, std::int64_t stride,
+                              std::int64_t pad, int conv_id,
+                              const char* reason);
+
   OdqConfig cfg_;
   bool calibrate_ = false;
   mutable std::mutex mutex_;
   std::vector<OdqLayerStats> stats_;
   std::vector<std::vector<std::int64_t>> last_channel_counts_;
+  std::vector<std::int64_t> fallback_counts_;
   std::vector<float> calib_samples_;
 };
 

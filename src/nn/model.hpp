@@ -8,6 +8,7 @@
 
 #include "nn/conv2d.hpp"
 #include "nn/layer.hpp"
+#include "util/status.hpp"
 
 namespace odq::nn {
 
@@ -53,8 +54,27 @@ class Model {
   void set_conv_executor(const std::shared_ptr<ConvExecutor>& executor);
 
   // Binary parameter serialization (values only; architecture must match).
+  //
+  // save() writes checkpoint format v3: a versioned header with per-tensor
+  // dtype/shape records, a CRC32 over the payload, and an atomic tmp+rename
+  // commit (a crash mid-save never destroys an existing checkpoint). load()
+  // reads v3 and legacy v2 files (distinguished by magic). The try_* forms
+  // return a typed util::Status — corruption, truncation and architecture
+  // mismatch are distinguishable — and a failed v3 try_load leaves the
+  // model's tensors untouched (the payload is staged and CRC-verified
+  // before being committed). save()/load() wrap them and throw
+  // std::runtime_error on failure. Fault-injection sites on every
+  // open/read/write are listed in docs/robustness.md.
+  util::Status try_save(const std::string& path);
+  util::Status try_load(const std::string& path);
   void save(const std::string& path);
   void load(const std::string& path);
+
+  // Legacy v2 writer (magic + counts + raw tensor payloads, no shape
+  // records, no checksum), kept so v2 back-compat stays testable against
+  // freshly written bytes. Every fwrite is checked, but the commit is
+  // in-place — v2 readers/writers predate atomic saves.
+  util::Status save_v2(const std::string& path);
 
  private:
   std::string name_;

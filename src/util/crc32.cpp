@@ -1,0 +1,45 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace odq::util {
+
+namespace {
+
+// Reflected CRC-32 table for polynomial 0xEDB88320, built once at first use.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFU; }
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = crc_table();
+  for (std::size_t i = 0; i < len; ++i) {
+    state = table[(state ^ p[i]) & 0xFFU] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFU; }
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_final(crc32_update(crc32_init(), data, len));
+}
+
+}  // namespace odq::util

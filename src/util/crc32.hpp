@@ -1,0 +1,25 @@
+// CRC-32 (the zlib/PNG polynomial, reflected 0xEDB88320) for checkpoint
+// payload integrity. Streaming interface so writers can checksum tensors as
+// they go without assembling the payload in memory:
+//
+//   std::uint32_t c = crc32_init();
+//   c = crc32_update(c, a.data(), a_bytes);
+//   c = crc32_update(c, b.data(), b_bytes);
+//   const std::uint32_t crc = crc32_final(c);
+//
+// crc32() is the one-shot convenience over the same state machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odq::util {
+
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t len);
+std::uint32_t crc32_final(std::uint32_t state);
+
+std::uint32_t crc32(const void* data, std::size_t len);
+
+}  // namespace odq::util

@@ -2,13 +2,24 @@
 
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace odq::util {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header) {
+  open(path, header).throw_if_error();
+}
+
+Status CsvWriter::open(const std::string& path,
+                       const std::vector<std::string>& header) {
+  path_ = path;
+  if (fault_fire("csv.open")) {
+    return {StatusCode::kIoError, "injected open failure for " + path};
+  }
   out_.open(path);
   if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path);
+    return {StatusCode::kIoError, "CsvWriter: cannot open " + path};
   }
   bool first = true;
   for (const auto& h : header) {
@@ -17,6 +28,24 @@ CsvWriter::CsvWriter(const std::string& path,
     first = false;
   }
   out_ << '\n';
+  if (!out_) {
+    return {StatusCode::kIoError, "CsvWriter: cannot write header to " + path};
+  }
+  return Status::Ok();
+}
+
+Status CsvWriter::finish() {
+  if (!out_.is_open()) return Status::Ok();
+  if (fault_fire("csv.write")) {
+    out_.setstate(std::ios::badbit);
+  }
+  out_.flush();
+  const bool failed = !out_;
+  out_.close();
+  if (failed) {
+    return {StatusCode::kIoError, "CsvWriter: write failure on " + path_};
+  }
+  return Status::Ok();
 }
 
 }  // namespace odq::util

@@ -1,5 +1,12 @@
 // Tiny CSV writer for experiment outputs. Benches print human-readable rows
 // to stdout and optionally mirror them to CSV files for plotting.
+//
+// Two error styles, matching docs/robustness.md: the throwing constructor
+// for bench/one-shot callers, and Status-returning open()/finish() for
+// serving-facing tools that must report failures (full disk, injected
+// faults) without dying. ofstream buffers rows, so write failures surface
+// at finish(); callers that skip finish() keep the legacy fire-and-forget
+// behavior.
 #pragma once
 
 #include <fstream>
@@ -7,6 +14,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace odq::util {
 
@@ -17,6 +26,15 @@ class CsvWriter {
 
   // A no-op writer (used when the caller did not request CSV output).
   CsvWriter() = default;
+
+  // Non-throwing form of the constructor; kIoError when the file cannot be
+  // opened or the header row fails to write.
+  Status open(const std::string& path,
+              const std::vector<std::string>& header);
+
+  // Flush and report any buffered write failure (ofstream swallows short
+  // writes until the buffer drains). Idempotent; a no-op writer is OK.
+  Status finish();
 
   bool is_open() const { return out_.is_open(); }
 
@@ -37,6 +55,7 @@ class CsvWriter {
     line << value;
   }
 
+  std::string path_;
   std::ofstream out_;
 };
 

@@ -1,0 +1,109 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace odq::util {
+
+namespace {
+
+std::atomic<int> g_fault_enabled{-1};  // -1: read ODQ_FAULT on first use
+
+struct FaultState {
+  std::mutex mutex;
+  std::map<std::string, std::int64_t> trigger;  // site -> nth (1-based)
+  std::map<std::string, std::int64_t> hits;     // site -> occurrences
+};
+
+// Leaked on purpose: sites may be checked during static destruction (trace
+// flush at exit writes files through the same I/O helpers).
+FaultState& state() {
+  static FaultState* s = new FaultState;
+  return *s;
+}
+
+// Parse "<site>:<nth>[,...]" into the trigger map. Bad entries warn and are
+// skipped; injection stays usable for the well-formed remainder.
+void parse_spec_locked(FaultState& s, const std::string& spec) {
+  s.trigger.clear();
+  s.hits.clear();
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.rfind(':');
+    const std::string site = colon == std::string::npos
+                                 ? std::string()
+                                 : entry.substr(0, colon);
+    const long long nth =
+        colon == std::string::npos
+            ? 0
+            : std::atoll(entry.c_str() + colon + 1);
+    if (site.empty() || nth < 1) {
+      std::fprintf(stderr,
+                   "odq fault: ignoring malformed ODQ_FAULT entry '%s' "
+                   "(want <site>:<nth>, nth >= 1)\n",
+                   entry.c_str());
+      continue;
+    }
+    s.trigger[site] = nth;
+  }
+}
+
+}  // namespace
+
+bool fault_injection_enabled() {
+  int v = g_fault_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("ODQ_FAULT");
+    const std::string spec = env != nullptr ? env : "";
+    if (!spec.empty()) {
+      FaultState& s = state();
+      std::lock_guard<std::mutex> lock(s.mutex);
+      parse_spec_locked(s, spec);
+      v = s.trigger.empty() ? 0 : 1;
+    } else {
+      v = 0;
+    }
+    g_fault_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void fault_configure(const std::string& spec) {
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  parse_spec_locked(s, spec);
+  g_fault_enabled.store(s.trigger.empty() ? 0 : 1,
+                        std::memory_order_relaxed);
+}
+
+bool fault_fire(const char* site) {
+  if (!fault_injection_enabled()) return false;
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const std::int64_t n = ++s.hits[site];
+  const auto it = s.trigger.find(site);
+  return it != s.trigger.end() && n == it->second;
+}
+
+void fault_reset_counters() {
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.hits.clear();
+}
+
+std::int64_t fault_site_hits(const std::string& site) {
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.hits.find(site);
+  return it != s.hits.end() ? it->second : 0;
+}
+
+}  // namespace odq::util

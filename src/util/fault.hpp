@@ -1,0 +1,54 @@
+// Deterministic fault injection for the I/O boundaries.
+//
+// Production code brackets each failure-capable operation with a named
+// *site* check:
+//
+//   if (util::fault_fire("ckpt.write")) return io_error(...);
+//   if (std::fwrite(...) != n)          return io_error(...);
+//
+// Sites are armed by the ODQ_FAULT environment variable (read on first use)
+// or fault_configure() in tests:
+//
+//   ODQ_FAULT=<site>:<nth>[,<site>:<nth>...]
+//
+// An armed site fires on exactly its nth occurrence (1-based) and never
+// again until the counters are reset — so the same spec produces the same
+// failure point on every run. Occurrence counting is a single process-wide
+// sequence per site (guarded by a mutex), which keeps the failure point
+// deterministic regardless of thread-pool size: concurrent callers race for
+// *which* call observes the nth slot, but exactly one of them fires.
+//
+// Cost discipline matches obs: when no spec is configured, fault_fire() is
+// one relaxed atomic load and a branch. Sites live on open/read/write paths
+// only — never inside MAC loops.
+//
+// The site inventory lives in docs/robustness.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace odq::util {
+
+// True when a non-empty fault spec is armed. Initialized from ODQ_FAULT on
+// first query; one relaxed atomic load afterwards.
+bool fault_injection_enabled();
+
+// (Re)arm from a spec string ("" disarms). Replaces any previous spec and
+// zeroes every occurrence counter. Malformed entries (no ':', nth < 1) are
+// ignored with a warning on stderr rather than aborting the process — a bad
+// ODQ_FAULT must never take down a serving binary.
+void fault_configure(const std::string& spec);
+
+// Count this occurrence of `site`; true when it is the armed nth occurrence.
+bool fault_fire(const char* site);
+
+// Zero every occurrence counter, keeping the armed spec (test helper: rerun
+// the same scenario and the fault fires at the same point again).
+void fault_reset_counters();
+
+// Occurrences of `site` counted since the last reset (0 when never hit or
+// when injection is disabled). Test/diagnostic helper.
+std::int64_t fault_site_hits(const std::string& site);
+
+}  // namespace odq::util

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace odq::util {
 
 const JsonValue& JsonValue::at(const std::string& key) const {
@@ -49,6 +51,19 @@ class Parser {
   }
 
   JsonValue parse_value() {
+    // Containers recurse through here; bound the depth so a hostile
+    // document ("[[[[...") becomes a parse error, not a stack overflow.
+    if (depth_ >= kJsonMaxDepth) {
+      throw std::runtime_error("nesting deeper than " +
+                               std::to_string(kJsonMaxDepth) + " levels");
+    }
+    ++depth_;
+    JsonValue v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_value_inner() {
     skip_ws();
     switch (peek()) {
       case '{': return parse_object();
@@ -196,6 +211,7 @@ class Parser {
 
   const std::string& s_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
@@ -205,9 +221,28 @@ JsonValue json_parse(const std::string& text) {
 }
 
 JsonValue json_parse_file(const std::string& path) {
+  StatusOr<JsonValue> v = json_try_parse_file(path);
+  v.status().throw_if_error();
+  return std::move(v.value());
+}
+
+StatusOr<JsonValue> json_try_parse(const std::string& text) {
+  try {
+    return Parser(text).parse_document();
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kCorruption,
+                  std::string("json parse error: ") + e.what());
+  }
+}
+
+StatusOr<JsonValue> json_try_parse_file(const std::string& path) {
+  if (fault_fire("json.open")) {
+    return Status(StatusCode::kIoError, "injected open failure for " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    throw std::runtime_error("json_parse_file: cannot open " + path);
+    return Status(StatusCode::kNotFound,
+                  "json_parse_file: cannot open " + path);
   }
   std::string text;
   char buf[1 << 14];
@@ -215,8 +250,17 @@ JsonValue json_parse_file(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     text.append(buf, n);
   }
+  const bool read_error = std::ferror(f) != 0 || fault_fire("json.read");
   std::fclose(f);
-  return json_parse(text);
+  if (read_error) {
+    return Status(StatusCode::kIoError,
+                  "json_parse_file: read error in " + path);
+  }
+  StatusOr<JsonValue> v = json_try_parse(text);
+  if (!v.ok()) {
+    return Status(v.status().code(), v.status().message() + " in " + path);
+  }
+  return v;
 }
 
 }  // namespace odq::util

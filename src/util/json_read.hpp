@@ -4,14 +4,23 @@
 // tests to validate emitted documents without adding a JSON dependency.
 // Supports the full grammar the writers produce (objects, arrays, strings
 // with \uXXXX escapes, numbers, bools, null). Parse errors throw
-// std::runtime_error.
+// std::runtime_error; the json_try_* forms return a typed util::Status
+// instead (corruption for malformed documents, not-found/io for file
+// problems) so tools can report and keep running. Nesting is capped at
+// kJsonMaxDepth levels — adversarial input cannot overflow the stack.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace odq::util {
+
+// Maximum container nesting the parser accepts; deeper documents are a
+// parse error, not a stack overflow.
+inline constexpr std::size_t kJsonMaxDepth = 256;
 
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -35,5 +44,10 @@ JsonValue json_parse(const std::string& text);
 // json_parse over a whole file; throws std::runtime_error when the file
 // cannot be read.
 JsonValue json_parse_file(const std::string& path);
+
+// Non-throwing forms: kCorruption on parse errors (message includes the
+// parser's context), kNotFound / kIoError on file problems.
+StatusOr<JsonValue> json_try_parse(const std::string& text);
+StatusOr<JsonValue> json_try_parse_file(const std::string& path);
 
 }  // namespace odq::util

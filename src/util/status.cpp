@@ -1,0 +1,27 @@
+#include "util/status.hpp"
+
+namespace odq::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string s = status_code_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace odq::util

@@ -1,0 +1,91 @@
+// Status / StatusOr<T>: typed error propagation for the I/O boundaries.
+//
+// The compute paths keep throwing (std::invalid_argument on programmer
+// errors) — exceptions are the right tool when the caller cannot recover.
+// Serving-facing boundaries (checkpoint load, report parsing, CSV output)
+// instead return a Status so callers can distinguish *why* an operation
+// failed (missing file vs corrupt payload vs short write) and keep running.
+// docs/robustness.md documents the conventions; the bridge back to the
+// throwing world is Status::throw_if_error().
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace odq::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,    // caller passed something unusable (bad spec, bad flag)
+  kNotFound,           // file or key does not exist
+  kIoError,            // open/read/write/rename failed or came up short
+  kCorruption,         // payload present but fails validation (CRC, parse)
+  kFailedPrecondition  // state mismatch (wrong architecture, wrong version)
+};
+
+// Stable lowercase name for a code ("corruption", ...). Never nullptr.
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "corruption: bad payload crc in m.bin" (or "ok").
+  std::string to_string() const;
+
+  // Bridge to throwing APIs: no-op when ok, std::runtime_error otherwise.
+  void throw_if_error() const {
+    if (!ok()) throw std::runtime_error(to_string());
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A Status or a value. Accessing value() on an error state throws the
+// error's to_string() — the same bridge discipline as throw_if_error().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInvalidArgument,
+                       "StatusOr constructed from OK status without a value");
+    }
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    status_.throw_if_error();
+    return *value_;
+  }
+  const T& value() const {
+    status_.throw_if_error();
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace odq::util

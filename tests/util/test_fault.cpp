@@ -1,0 +1,95 @@
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace odq::util {
+namespace {
+
+// Every test leaves injection disarmed: the framework is process-global and
+// the rest of the suite must not trip over a leftover spec.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault_configure(""); }
+};
+
+TEST_F(FaultTest, DisabledByDefaultAndNeverFires) {
+  fault_configure("");
+  EXPECT_FALSE(fault_injection_enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(fault_fire("any.site"));
+  // Disabled sites do not even count occurrences (the hot-path contract is
+  // one relaxed load and out).
+  EXPECT_EQ(fault_site_hits("any.site"), 0);
+}
+
+TEST_F(FaultTest, FiresOnExactlyTheNthOccurrence) {
+  fault_configure("ckpt.write:3");
+  EXPECT_TRUE(fault_injection_enabled());
+  std::vector<int> fired;
+  for (int i = 1; i <= 6; ++i) {
+    if (fault_fire("ckpt.write")) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, std::vector<int>{3});
+  EXPECT_EQ(fault_site_hits("ckpt.write"), 6);
+}
+
+TEST_F(FaultTest, DeterministicAcrossRuns) {
+  fault_configure("a.site:5");
+  for (int run = 0; run < 3; ++run) {
+    fault_reset_counters();
+    int fired_at = -1;
+    for (int i = 1; i <= 10; ++i) {
+      if (fault_fire("a.site")) fired_at = i;
+    }
+    EXPECT_EQ(fired_at, 5) << "run " << run;
+  }
+}
+
+TEST_F(FaultTest, SitesAreIndependent) {
+  fault_configure("x:1,y:2");
+  EXPECT_TRUE(fault_fire("x"));
+  EXPECT_FALSE(fault_fire("x"));
+  EXPECT_FALSE(fault_fire("y"));
+  EXPECT_TRUE(fault_fire("y"));
+  EXPECT_FALSE(fault_fire("unarmed"));
+}
+
+TEST_F(FaultTest, MalformedEntriesAreSkippedNotFatal) {
+  fault_configure("nocolon,empty:,bad:0,good:2");
+  EXPECT_TRUE(fault_injection_enabled());
+  EXPECT_FALSE(fault_fire("nocolon"));
+  EXPECT_FALSE(fault_fire("good"));
+  EXPECT_TRUE(fault_fire("good"));
+}
+
+TEST_F(FaultTest, AllMalformedSpecDisables) {
+  fault_configure("oops");
+  EXPECT_FALSE(fault_injection_enabled());
+}
+
+// The occurrence sequence is process-wide: with N concurrent callers racing
+// on one site, exactly one observes the armed slot — the failure *point* in
+// wall-clock order may vary, but the failure *count* never does, and a
+// serial call site (checkpoint I/O) is deterministic at any pool size.
+TEST_F(FaultTest, ExactlyOneFireUnderConcurrency) {
+  fault_configure("conc.site:50");
+  std::atomic<int> fires{0};
+  parallel_for(
+      200,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          if (fault_fire("conc.site")) fires.fetch_add(1);
+        }
+      },
+      /*grain=*/1);
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_EQ(fault_site_hits("conc.site"), 200);
+}
+
+}  // namespace
+}  // namespace odq::util

@@ -8,8 +8,12 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "util/fault.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace odq::util {
 namespace {
@@ -77,6 +81,117 @@ TEST(JsonRead, ParseFileReadsAndReportsMissing) {
   EXPECT_EQ(v.at("k").arr.size(), 3u);
   std::remove(path.c_str());
   EXPECT_THROW(json_parse_file(path), std::runtime_error);
+}
+
+std::string nested_arrays(std::size_t depth) {
+  return std::string(depth, '[') + std::string(depth, ']');
+}
+
+TEST(JsonRead, AcceptsNestingUpToTheLimit) {
+  const JsonValue v = json_parse(nested_arrays(kJsonMaxDepth));
+  EXPECT_EQ(v.kind, JsonValue::Kind::kArray);
+}
+
+TEST(JsonRead, RejectsNestingBeyondTheLimit) {
+  try {
+    json_parse(nested_arrays(kJsonMaxDepth + 1));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting deeper"), std::string::npos);
+  }
+}
+
+// Regression: before the depth limit, a 10k-deep array blew the parser's
+// stack (one parse_value frame per level). Must now be a clean typed error.
+TEST(JsonRead, TenThousandDeepArrayIsATypedErrorNotACrash) {
+  StatusOr<JsonValue> v = json_try_parse(nested_arrays(10000));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(v.status().message().find("nesting deeper"), std::string::npos);
+}
+
+TEST(JsonRead, TryParseReturnsValueOrCorruption) {
+  StatusOr<JsonValue> good = json_try_parse("{\"a\": [1, 2]}");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->at("a").arr.size(), 2u);
+
+  StatusOr<JsonValue> bad = json_try_parse("{\"a\": [1, 2}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+TEST(JsonRead, TryParseFileDistinguishesMissingFromCorrupt) {
+  const std::string path = ::testing::TempDir() + "json_try_file_test.json";
+  std::remove(path.c_str());
+  EXPECT_EQ(json_try_parse_file(path).status().code(), StatusCode::kNotFound);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"k\": ", f);  // truncated document
+  std::fclose(f);
+  StatusOr<JsonValue> v = json_try_parse_file(path);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+  // The path is appended so a failing load in a long pipeline names its file.
+  EXPECT_NE(v.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonRead, TryParseFileHonorsFaultSites) {
+  const std::string path = ::testing::TempDir() + "json_fault_test.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("[1]", f);
+  std::fclose(f);
+
+  fault_configure("json.open:1");
+  EXPECT_EQ(json_try_parse_file(path).status().code(), StatusCode::kIoError);
+  fault_configure("json.read:1");
+  EXPECT_EQ(json_try_parse_file(path).status().code(), StatusCode::kIoError);
+  fault_configure("");
+  EXPECT_TRUE(json_try_parse_file(path).ok());
+  std::remove(path.c_str());
+}
+
+// Fuzz smoke: the parser must return ok-or-error on arbitrary bytes — never
+// crash, hang, or trip a sanitizer. Two corpora: pure random strings, and
+// seeded mutations of a valid document (the adversarial-truncation shape the
+// bench-diff gate actually sees when a run dies mid-write).
+TEST(JsonRead, FuzzSmokeNeverCrashes) {
+  Rng rng(20260806);
+  const std::string charset = "{}[]\",:0123456789.eE+-truefalsn \t\n\\u\x01";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string doc;
+    const std::size_t len = rng.uniform_u64(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      doc.push_back(charset[rng.uniform_u64(charset.size())]);
+    }
+    StatusOr<JsonValue> v = json_try_parse(doc);  // must simply return
+    if (!v.ok()) {
+      EXPECT_FALSE(v.status().message().empty());
+    }
+  }
+
+  const std::string valid =
+      R"({"bench":"micro","rows":[{"section":"odq","cycles":123.5,)"
+      R"("name":"BM_OdqFull/8","ok":true,"note":"a\nb"}],"n":null})";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string doc = valid;
+    const int mode = static_cast<int>(rng.uniform_u64(3));
+    if (mode == 0) {  // truncate
+      doc.resize(rng.uniform_u64(doc.size()));
+    } else if (mode == 1) {  // flip a byte
+      doc[rng.uniform_u64(doc.size())] =
+          static_cast<char>(rng.uniform_u64(256));
+    } else {  // duplicate a slice
+      const std::size_t at = rng.uniform_u64(doc.size());
+      doc.insert(at, doc.substr(at, rng.uniform_u64(16)));
+    }
+    StatusOr<JsonValue> v = json_try_parse(doc);
+    if (!v.ok()) {
+      EXPECT_FALSE(v.status().message().empty());
+    }
+  }
 }
 
 }  // namespace

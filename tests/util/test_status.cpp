@@ -1,0 +1,77 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace odq::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+  EXPECT_NO_THROW(s.throw_if_error());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(StatusCode::kCorruption, "bad payload crc in m.bin");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad payload crc in m.bin");
+  EXPECT_EQ(s.to_string(), "corruption: bad payload crc in m.bin");
+}
+
+TEST(Status, ThrowIfErrorBridgesToRuntimeError) {
+  Status s(StatusCode::kIoError, "short write");
+  try {
+    s.throw_if_error();
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "io_error: short write");
+  }
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "not_found");
+  EXPECT_STREQ(status_code_name(StatusCode::kIoError), "io_error");
+  EXPECT_STREQ(status_code_name(StatusCode::kCorruption), "corruption");
+  EXPECT_STREQ(status_code_name(StatusCode::kFailedPrecondition),
+               "failed_precondition");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status(StatusCode::kNotFound, "no such file"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(v.value(), std::runtime_error);
+}
+
+TEST(StatusOr, OkStatusWithoutValueIsRejected) {
+  StatusOr<int> v{Status::Ok()};
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, MoveOnlyValueTypesWork) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(**v, 7);
+  std::unique_ptr<int> taken = std::move(v.value());
+  EXPECT_EQ(*taken, 7);
+}
+
+}  // namespace
+}  // namespace odq::util

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "tool_main.hpp"
 #include "util/json_read.hpp"
 
 namespace {
@@ -99,7 +100,7 @@ double rel_change(double base, double cur) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   Options opt;
   opt.ignore_keys = {"seconds", "wall", "speedup", "git_sha", "build_"};
   opt.ignore_sections = {"host_wall_clock"};
@@ -140,14 +141,20 @@ int main(int argc, char** argv) {
   opt.baseline_path = positional[0];
   opt.current_path = positional[1];
 
-  JsonValue base, cur;
-  try {
-    base = odq::util::json_parse_file(opt.baseline_path);
-    cur = odq::util::json_parse_file(opt.current_path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "odq_bench_diff: %s\n", e.what());
-    return 2;
+  // Typed parse errors: a missing baseline and a corrupt document print
+  // distinguishable diagnostics but both exit 2 (usage/error, not a gate
+  // verdict).
+  auto base_or = odq::util::json_try_parse_file(opt.baseline_path);
+  auto cur_or = odq::util::json_try_parse_file(opt.current_path);
+  for (const auto* doc : {&base_or, &cur_or}) {
+    if (!doc->ok()) {
+      std::fprintf(stderr, "odq_bench_diff: %s\n",
+                   doc->status().to_string().c_str());
+      return 2;
+    }
   }
+  const JsonValue& base = base_or.value();
+  const JsonValue& cur = cur_or.value();
 
   auto meta = [](const JsonValue& doc, const std::string& key) {
     return doc.has(key) && doc.at(key).is_string() ? doc.at(key).str
@@ -237,4 +244,9 @@ int main(int argc, char** argv) {
   std::printf("%d cells compared, %d ignored, %d regressions (tol %.0f%%)\n",
               compared, ignored, regressions, 100.0 * opt.tol);
   return regressions > 0 ? 1 : 0;
+}
+
+int main(int argc, char** argv) {
+  return odq::tools::run_guarded("odq_bench_diff",
+                                 [&] { return tool_main(argc, argv); });
 }

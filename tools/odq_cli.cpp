@@ -25,6 +25,7 @@
 #include "nn/trainer.hpp"
 #include "quant/qmodel_io.hpp"
 #include "quant/static_executor.hpp"
+#include "tool_main.hpp"
 
 namespace {
 
@@ -89,10 +90,10 @@ std::shared_ptr<nn::ConvExecutor> scheme_executor(const std::string& scheme) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  try {
+  {
     if (cmd == "table1") {
       std::printf("%-12s %-12s %s\n", "#predictor", "#executor",
                   "max sensitive %");
@@ -153,9 +154,11 @@ int main(int argc, char** argv) {
                   static_cast<long long>(m.num_parameters() * 4));
       return 0;
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "odq_cli: %s\n", e.what());
-    return 1;
   }
   return usage();
+}
+
+int main(int argc, char** argv) {
+  return odq::tools::run_guarded("odq_cli",
+                                 [&] { return tool_main(argc, argv); });
 }

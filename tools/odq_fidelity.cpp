@@ -37,6 +37,7 @@
 #include "nn/init.hpp"
 #include "nn/models.hpp"
 #include "obs/fidelity.hpp"
+#include "tool_main.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -129,7 +130,7 @@ struct SweepPoint {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -170,7 +171,7 @@ int main(int argc, char** argv) {
   }
   if (!opt.sweep) opt.thresholds = {opt.threshold};
 
-  try {
+  {
     int classes = 10;
     nn::Model model = build_model(opt, &classes);
     nn::kaiming_init(model, 1);
@@ -307,11 +308,17 @@ int main(int argc, char** argv) {
       if (f == nullptr) {
         std::fprintf(stderr, "odq_fidelity: cannot open %s\n",
                      opt.report_path.c_str());
-        return 1;
+        return 2;
       }
-      std::fwrite(report.data(), 1, report.size(), f);
+      const std::size_t n = std::fwrite(report.data(), 1, report.size(), f);
       std::fputc('\n', f);
+      const bool flushed = std::fflush(f) == 0;
       std::fclose(f);
+      if (n != report.size() || !flushed) {
+        std::fprintf(stderr, "odq_fidelity: short write to %s\n",
+                     opt.report_path.c_str());
+        return 2;
+      }
     }
 
     if (!opt.csv_path.empty()) {
@@ -319,7 +326,7 @@ int main(int argc, char** argv) {
       if (f == nullptr) {
         std::fprintf(stderr, "odq_fidelity: cannot open %s\n",
                      opt.csv_path.c_str());
-        return 1;
+        return 2;
       }
       std::fprintf(f,
                    "threshold,conv_id,sensitive_fraction,sqnr_db,cosine,"
@@ -363,8 +370,10 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "odq_fidelity: %s\n", e.what());
-    return 1;
   }
+}
+
+int main(int argc, char** argv) {
+  return odq::tools::run_guarded("odq_fidelity",
+                                 [&] { return tool_main(argc, argv); });
 }

@@ -32,6 +32,7 @@
 #include "nn/models.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tool_main.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -130,7 +131,7 @@ double layer_bytes_moved(const LayerProfile& p) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -163,7 +164,7 @@ int main(int argc, char** argv) {
   }
   if (opt.batch <= 0 || opt.batches <= 0 || opt.width <= 0) return usage();
 
-  try {
+  {
     obs::set_trace_enabled(true);
     obs::set_metrics_enabled(true);
 
@@ -280,8 +281,10 @@ int main(int argc, char** argv) {
       std::fputc('\n', stderr);
     }
     return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "odq_profile: %s\n", e.what());
-    return 1;
   }
+}
+
+int main(int argc, char** argv) {
+  return odq::tools::run_guarded("odq_profile",
+                                 [&] { return tool_main(argc, argv); });
 }

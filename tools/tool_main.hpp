@@ -1,0 +1,28 @@
+// Shared outermost error boundary for the CLI tools.
+//
+// Every tool's main() delegates to run_guarded(): an exception escaping the
+// tool body prints one diagnostic line and exits 2 — the usage-error code
+// odq_bench_diff established — instead of reaching std::terminate. Tools
+// keep narrower catches where they can do something smarter (report and
+// continue); this is the floor, not the ceiling.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+
+namespace odq::tools {
+
+template <typename Fn>
+int run_guarded(const char* tool, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", tool, e.what());
+    return 2;
+  } catch (...) {
+    std::fprintf(stderr, "%s: unknown fatal error\n", tool);
+    return 2;
+  }
+}
+
+}  // namespace odq::tools
