@@ -510,6 +510,13 @@ std::size_t OdqConvExecutor::num_layers_seen() const {
   return stats_.size();
 }
 
+OdqLayerStats OdqConvExecutor::total_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OdqLayerStats total;
+  for (const OdqLayerStats& s : stats_) total.merge(s);
+  return total;
+}
+
 void OdqConvExecutor::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.clear();

@@ -138,6 +138,9 @@ class OdqConvExecutor : public nn::ConvExecutor {
 
   OdqLayerStats layer_stats(int id) const;
   std::size_t num_layers_seen() const;
+  // Merge of every layer's stats — the whole-model sensitive fraction and
+  // MAC split a serving run reports.
+  OdqLayerStats total_stats() const;
   void reset_stats();
 
   // Runs of conv `id` that were served by the static-INT8 fallback since

@@ -79,6 +79,15 @@ class Gauge {
     written_.store(true, std::memory_order_relaxed);
   }
 
+  // Atomic increment/decrement, for level gauges (queue depth, in-flight
+  // requests) whose +1/-1 halves run on different threads with no shared
+  // lock — last-write-wins set() would lose updates there.
+  void add(double delta) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    written_.store(true, std::memory_order_relaxed);
+  }
+
   const std::string& name() const { return name_; }
   double value() const { return value_.load(std::memory_order_relaxed); }
   bool written() const { return written_.load(std::memory_order_relaxed); }

@@ -1,0 +1,204 @@
+#include "serve/engine.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+
+namespace odq::serve {
+
+using util::Status;
+using util::StatusCode;
+using util::StatusOr;
+
+namespace {
+
+struct ServeMetrics {
+  obs::Gauge& in_flight = obs::gauge("serve.in_flight");
+  obs::Counter& requests = obs::counter("serve.requests");
+  obs::Counter& errors = obs::counter("serve.errors");
+  obs::Counter& batches = obs::counter("serve.batches");
+  obs::Distribution& batch_size =
+      obs::distribution("serve.batch_size", 0.0, 64.0, 64);
+  obs::Distribution& latency_us =
+      obs::distribution("serve.latency_us", 0.0, 1e6, 64);
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(EngineConfig cfg, const SessionFactory& factory)
+    : cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (cfg_.num_workers < 1) cfg_.num_workers = 1;
+  if (cfg_.max_batch < 1) cfg_.max_batch = 1;
+  if (cfg_.flush_timeout_us < 0) cfg_.flush_timeout_us = 0;
+  stats_.batch_size_hist.assign(cfg_.max_batch + 1, 0);
+
+  sessions_.reserve(static_cast<std::size_t>(cfg_.num_workers));
+  for (int i = 0; i < cfg_.num_workers; ++i) {
+    std::unique_ptr<InferenceSession> session = factory(i);
+    if (session == nullptr) {
+      throw std::invalid_argument(
+          "ServeEngine: session factory returned null for worker " +
+          std::to_string(i));
+    }
+    sessions_.push_back(std::move(session));
+  }
+  workers_.reserve(sessions_.size());
+  for (int i = 0; i < cfg_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ServeEngine::~ServeEngine() { shutdown(); }
+
+double ServeEngine::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+StatusOr<std::future<InferResponse>> ServeEngine::submit(
+    tensor::Tensor input) {
+  return submit_impl(std::move(input), /*blocking=*/true);
+}
+
+StatusOr<std::future<InferResponse>> ServeEngine::try_submit(
+    tensor::Tensor input) {
+  return submit_impl(std::move(input), /*blocking=*/false);
+}
+
+StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
+    tensor::Tensor input, bool blocking) {
+  auto reject = [&](Status s) -> StatusOr<std::future<InferResponse>> {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected;
+    return s;
+  };
+  if (util::fault_fire("serve.submit")) {
+    return reject(
+        Status(StatusCode::kUnavailable, "injected serve.submit fault"));
+  }
+
+  PendingRequest req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.input = std::move(input);
+  req.enqueue_us = now_us();
+  req.enqueue_tp = std::chrono::steady_clock::now();
+  std::future<InferResponse> future = req.promise.get_future();
+
+  Status pushed = blocking ? queue_.push(std::move(req))
+                           : queue_.try_push(std::move(req));
+  if (!pushed.ok()) return reject(pushed);
+
+  serve_metrics().in_flight.add(1.0);
+  serve_metrics().requests.increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  return future;
+}
+
+void ServeEngine::worker_loop(int worker_id) {
+  InferenceSession& session = *sessions_[static_cast<std::size_t>(worker_id)];
+  std::vector<PendingRequest> batch;
+  while (queue_.pop_batch(batch, cfg_.max_batch, cfg_.flush_timeout_us)) {
+    obs::TraceSpan batch_span("serve.batch");
+    batch_span.arg("batch_size", static_cast<std::int64_t>(batch.size()));
+    serve_metrics().batches.increment();
+    serve_metrics().batch_size.record(static_cast<double>(batch.size()));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      if (batch.size() > 1) ++stats_.multi_request_batches;
+      if (batch.size() > stats_.max_batch_observed) {
+        stats_.max_batch_observed = batch.size();
+      }
+      if (batch.size() < stats_.batch_size_hist.size()) {
+        ++stats_.batch_size_hist[batch.size()];
+      }
+    }
+
+    // One fault check per batch: the whole coalescing unit fails together,
+    // the way a wedged replica would take out everything riding on it.
+    const bool batch_fault = util::fault_fire("serve.batch");
+    if (batch_fault) {
+      ODQ_LOG_WARN("serve: injected serve.batch fault, failing %zu request(s)",
+                   batch.size());
+    }
+
+    for (PendingRequest& req : batch) {
+      InferResponse res;
+      res.request_id = req.id;
+      res.batch_size = batch.size();
+      res.worker_id = worker_id;
+      res.enqueue_us = req.enqueue_us;
+      res.start_us = now_us();
+      if (batch_fault) {
+        res.status =
+            Status(StatusCode::kUnavailable, "injected serve.batch fault");
+      } else {
+        try {
+          res.output = session.run(req.input);
+        } catch (const std::exception& e) {
+          res.status = Status(StatusCode::kInvalidArgument, e.what());
+        } catch (...) {
+          res.status = Status(StatusCode::kInvalidArgument,
+                              "unknown inference failure");
+        }
+      }
+      res.done_us = now_us();
+
+      serve_metrics().in_flight.add(-1.0);
+      serve_metrics().latency_us.record(res.latency_us());
+      if (!res.status.ok()) serve_metrics().errors.increment();
+      if (obs::trace_enabled()) {
+        // Enqueue->complete latency span on the trace timeline, so queue
+        // wait + batching delay + execution show up as one bar per request.
+        obs::trace_record("serve.request",
+                          obs::trace_now_us() - res.latency_us(),
+                          res.latency_us(), "batch_size",
+                          static_cast<std::int64_t>(res.batch_size));
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.completed;
+        if (!res.status.ok()) ++stats_.errors;
+      }
+      req.promise.set_value(std::move(res));
+    }
+    batch.clear();
+  }
+}
+
+void ServeEngine::shutdown() {
+  bool expected = false;
+  if (!shut_down_.compare_exchange_strong(expected, true)) {
+    // Another caller already ran (or is running) the drain; joining again
+    // would race on workers_, and the first caller guarantees the drain.
+    return;
+  }
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+EngineStats ServeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace odq::serve

@@ -1,0 +1,130 @@
+// ServeEngine: an in-process batched inference serving engine.
+//
+// Architecture (docs/testing.md and README "Serving" describe usage):
+//
+//   submit() ──► RequestQueue (bounded, backpressure) ──► worker threads
+//                                                            │
+//                  dynamic batcher: flush on max_batch       │
+//                  or deadline timeout, whichever first      ▼
+//                                              InferenceSession (per worker)
+//
+// Each worker owns its own session (model replica + executor) and pops
+// dynamic batches off the shared queue. A batch is evaluated one request
+// at a time — see session.hpp for why coalescing must never couple
+// requests numerically — and every request's promise is fulfilled with an
+// InferResponse whose util::Status carries any failure (bad input shape,
+// injected fault, executor error) without taking the worker down.
+//
+// Shutdown is drain-and-join: shutdown() closes the queue to new
+// submissions (they get kUnavailable), workers finish everything already
+// accepted, then exit. The destructor calls shutdown(), so no accepted
+// request is ever dropped with an unfulfilled promise.
+//
+// Observability (all off unless ODQ_METRICS / ODQ_TRACE are enabled):
+//   serve.queue_depth        gauge     queue occupancy after each push/pop
+//   serve.in_flight          gauge     accepted but unanswered requests
+//   serve.requests           counter   requests accepted
+//   serve.errors             counter   responses with !status.ok()
+//   serve.batches            counter   batches executed
+//   serve.batch_size         distribution  requests per batch
+//   serve.latency_us         distribution  enqueue -> response latency
+//   serve.batch / serve.request   trace spans (batch execution, per-request
+//                                 enqueue->complete latency)
+//
+// Fault injection (docs/robustness.md):
+//   serve.submit   submit() refuses with kUnavailable before enqueueing
+//   serve.batch    one whole batch fails; every request in it gets
+//                  kUnavailable and the worker keeps serving
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/session.hpp"
+
+namespace odq::serve {
+
+struct EngineConfig {
+  int num_workers = 1;
+  std::size_t queue_capacity = 256;  // backpressure bound
+  std::size_t max_batch = 8;         // flush a batch at this size...
+  std::int64_t flush_timeout_us = 2000;  // ...or this long after the oldest
+                                         // request arrived, whichever first
+};
+
+// Aggregate counters, kept engine-side (independent of ODQ_METRICS) so
+// tests and the load generator can assert on batching behavior exactly.
+struct EngineStats {
+  std::uint64_t submitted = 0;  // accepted into the queue
+  std::uint64_t rejected = 0;   // refused by submit (closed / fault / full)
+  std::uint64_t completed = 0;  // responses delivered
+  std::uint64_t errors = 0;     // responses with !status.ok()
+  std::uint64_t batches = 0;
+  std::uint64_t multi_request_batches = 0;  // batches with more than 1
+  std::uint64_t max_batch_observed = 0;
+  // batch_size_hist[k] = batches that carried exactly k requests
+  // (index 0 unused). Sized max_batch + 1.
+  std::vector<std::uint64_t> batch_size_hist;
+};
+
+class ServeEngine {
+ public:
+  // One session per worker, built by `factory` (called with worker ids
+  // 0..num_workers-1 on the constructing thread, so factory errors throw
+  // here, not inside a worker). Workers start immediately.
+  using SessionFactory =
+      std::function<std::unique_ptr<InferenceSession>(int worker_id)>;
+
+  ServeEngine(EngineConfig cfg, const SessionFactory& factory);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  // Enqueue one request. Blocks while the queue is at capacity
+  // (backpressure). Returns the future the worker fulfills, or a Status:
+  // kUnavailable after shutdown()/close or from the serve.submit fault site.
+  util::StatusOr<std::future<InferResponse>> submit(tensor::Tensor input);
+
+  // Non-blocking variant: kUnavailable immediately when the queue is full.
+  util::StatusOr<std::future<InferResponse>> try_submit(tensor::Tensor input);
+
+  // Stop accepting, drain everything already accepted, join workers.
+  // Idempotent; also run by the destructor.
+  void shutdown();
+
+  EngineStats stats() const;
+  const EngineConfig& config() const { return cfg_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  // Microseconds since engine construction on a steady clock — the
+  // timebase of every InferResponse timestamp.
+  double now_us() const;
+
+ private:
+  util::StatusOr<std::future<InferResponse>> submit_impl(tensor::Tensor input,
+                                                         bool blocking);
+  void worker_loop(int worker_id);
+
+  EngineConfig cfg_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<InferenceSession>> sessions_;
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex stats_mutex_;
+  EngineStats stats_;
+};
+
+}  // namespace odq::serve

@@ -1,0 +1,65 @@
+// Thread-safe bounded request queue with backpressure and dynamic batching.
+//
+// Producers push PendingRequests; worker threads pop *batches*: pop_batch
+// blocks for the first request, then keeps gathering until the batch
+// reaches `max_batch` or the oldest request has waited `flush_timeout_us`
+// microseconds since enqueue — whichever comes first. Measuring the
+// deadline from the oldest request's enqueue time (not from the pop) bounds
+// the batching delay any request can experience, and makes a backlogged
+// queue flush immediately.
+//
+// Backpressure: the queue holds at most `capacity` requests. push() blocks
+// until space frees up; try_push() refuses immediately with kUnavailable.
+// close() rejects all further pushes but lets pop_batch drain what was
+// already accepted — the engine's graceful-shutdown contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "util/status.hpp"
+
+namespace odq::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  // Block until the request is accepted or the queue is closed
+  // (kUnavailable). FIFO: requests pop in push order.
+  util::Status push(PendingRequest&& req);
+
+  // Non-blocking: kUnavailable when full or closed. On failure `req` is
+  // untouched (the caller still owns the promise).
+  util::Status try_push(PendingRequest&& req);
+
+  // Pop 1..max_batch requests into `out` (cleared first). Blocks until at
+  // least one request is available; returns false only when the queue is
+  // closed AND drained — the worker-exit signal. After the first request,
+  // gathers more until max_batch or the flush deadline (oldest request's
+  // enqueue + flush_timeout_us); a closed queue flushes immediately.
+  bool pop_batch(std::vector<PendingRequest>& out, std::size_t max_batch,
+                 std::int64_t flush_timeout_us);
+
+  // Refuse new pushes, wake every waiter. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable nonempty_cv_;
+  std::condition_variable space_cv_;
+  std::deque<PendingRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace odq::serve

@@ -1,0 +1,44 @@
+// Request/response types for the in-process batched inference engine.
+//
+// A request is one sample (an NCHW tensor with N == 1, or an unbatched
+// CHW tensor the session promotes). The engine answers every accepted
+// request with an InferResponse carrying a typed util::Status — errors
+// (bad shape, injected faults, executor failures) travel back to the
+// caller instead of taking a worker down.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "tensor/tensor.hpp"
+#include "util/status.hpp"
+
+namespace odq::serve {
+
+struct InferResponse {
+  util::Status status;    // OK iff `output` is valid
+  tensor::Tensor output;  // model output for this sample ([1, classes])
+
+  // Scheduling metadata, for latency accounting and batching tests.
+  std::uint64_t request_id = 0;
+  std::size_t batch_size = 0;  // how many requests shared the batch
+  int worker_id = -1;
+  double enqueue_us = 0.0;  // microseconds on the engine's steady clock
+  double start_us = 0.0;    // batch execution began
+  double done_us = 0.0;     // response delivered
+
+  double latency_us() const { return done_us - enqueue_us; }
+};
+
+// A queued request: input plus the promise the worker fulfills. Internal to
+// the engine/queue; callers hold the matching std::future<InferResponse>.
+struct PendingRequest {
+  std::uint64_t id = 0;
+  tensor::Tensor input;
+  double enqueue_us = 0.0;
+  std::chrono::steady_clock::time_point enqueue_tp;
+  std::promise<InferResponse> promise;
+};
+
+}  // namespace odq::serve

@@ -1,0 +1,71 @@
+// Inference sessions: the pluggable per-worker evaluation unit.
+//
+// Each engine worker owns one InferenceSession (model forward passes are
+// not thread-safe — Conv2d caches its input even in eval mode — so workers
+// never share a session). A ModelSession wraps an nn::Model with one of
+// the numeric schemes (ODQ / DRQ / static-INT8 / FP32 reference) installed
+// as its ConvExecutor.
+//
+// Batch-invariance contract: the engine evaluates a coalesced batch by
+// running each request through run() independently, one sample at a time.
+// The quantized executors calibrate activation scales per-tensor at run
+// time, so stacking k requests into one [k,C,H,W] forward would couple a
+// request's quantization scale (and ODQ sensitivity decisions) to whatever
+// neighbors the batcher happened to coalesce with it — outputs would change
+// with arrival timing. Per-sample evaluation makes coalescing a pure
+// scheduling decision: outputs are bit-identical to the single-request
+// path no matter how requests were batched, the invariant the serve test
+// harness hammers (see docs/testing.md).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/odq.hpp"
+#include "nn/layer.hpp"
+#include "nn/model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace odq::serve {
+
+class InferenceSession {
+ public:
+  virtual ~InferenceSession() = default;
+
+  // Evaluate one sample: input [1,C,H,W] (a CHW tensor is promoted).
+  // Throws std::invalid_argument on unusable inputs; the engine converts
+  // escaped exceptions into per-request error Statuses.
+  virtual tensor::Tensor run(const tensor::Tensor& input) = 0;
+
+  // Numeric scheme tag ("odq", "drq", "static_int8", "fp32").
+  virtual std::string scheme() const = 0;
+};
+
+// Build a conv executor by scheme name. "fp32" returns nullptr (the model's
+// native im2col path); unknown names throw std::invalid_argument. The ODQ
+// config parameterizes the "odq" scheme and is ignored by the others.
+std::shared_ptr<nn::ConvExecutor> make_conv_executor(
+    const std::string& scheme, const core::OdqConfig& odq_cfg = {});
+
+// An nn::Model replica evaluating under `executor` (nullptr = FP32).
+// Takes ownership of the model; assigns conv ids and installs the executor.
+class ModelSession : public InferenceSession {
+ public:
+  ModelSession(nn::Model model, std::shared_ptr<nn::ConvExecutor> executor,
+               std::string scheme);
+
+  tensor::Tensor run(const tensor::Tensor& input) override;
+  std::string scheme() const override { return scheme_; }
+
+  nn::Model& model() { return model_; }
+  const std::shared_ptr<nn::ConvExecutor>& executor() const {
+    return executor_;
+  }
+
+ private:
+  nn::Model model_;
+  std::shared_ptr<nn::ConvExecutor> executor_;
+  std::string scheme_;
+};
+
+}  // namespace odq::serve

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/fault.hpp"
@@ -205,7 +206,17 @@ class Parser {
     if (pos_ == start) throw std::runtime_error("bad number");
     JsonValue v;
     v.kind = JsonValue::Kind::kNumber;
-    v.num = std::stod(s_.substr(start, pos_ - start));
+    // strtod, not std::stod: stod throws out_of_range whenever strtod sets
+    // ERANGE, which includes *underflow* — it would reject perfectly valid
+    // subnormal literals like 5e-324 that JsonWriter's %.17g emits. strtod
+    // itself already returns the right value for those (and +-HUGE_VAL on
+    // genuine overflow, the closest double to what the text meant).
+    const std::string text = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    v.num = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      throw std::runtime_error("bad number");
+    }
     return v;
   }
 

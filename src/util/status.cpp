@@ -10,6 +10,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kIoError: return "io_error";
     case StatusCode::kCorruption: return "corruption";
     case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

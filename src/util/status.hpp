@@ -21,8 +21,9 @@ enum class StatusCode : int {
   kInvalidArgument,    // caller passed something unusable (bad spec, bad flag)
   kNotFound,           // file or key does not exist
   kIoError,            // open/read/write/rename failed or came up short
-  kCorruption,         // payload present but fails validation (CRC, parse)
-  kFailedPrecondition  // state mismatch (wrong architecture, wrong version)
+  kCorruption,          // payload present but fails validation (CRC, parse)
+  kFailedPrecondition,  // state mismatch (wrong architecture, wrong version)
+  kUnavailable          // transient refusal (queue full, engine shutting down)
 };
 
 // Stable lowercase name for a code ("corruption", ...). Never nullptr.

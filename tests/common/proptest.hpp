@@ -1,0 +1,183 @@
+// Property-based testing support: seeded generators for the randomized
+// differential suites (docs/testing.md "Property-based tests").
+//
+// Reproducibility contract:
+//   * Every randomized test derives its per-case seed from a base seed via
+//     case_seed(index). The base seed defaults to a fixed constant, so CI
+//     runs are deterministic, and can be overridden with ODQ_TEST_SEED to
+//     explore new inputs or replay a failure.
+//   * Declaring ODQ_PROP_CASE(c, index) at the top of a case body installs
+//     a gtest ScopedTrace, so ANY assertion failure inside the case prints
+//     the exact replay line:
+//
+//       replay: ODQ_TEST_SEED=12345 (case 17, seed 0x...)
+//
+//     Re-running the binary with that environment variable (and, if
+//     desired, --gtest_filter for the failing test) reproduces the case.
+//
+// Generators draw from the same distributions the hand-written suites use
+// (uniform [0,1) post-ReLU activations, normal(0, 0.3) weights) and keep
+// geometries small enough that a few hundred cases stay subsecond.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "quant/quantizer.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace odq::testprop {
+
+// SplitMix64 — the same mixer util::Rng seeds itself with; used here to
+// decorrelate per-case seeds derived from consecutive indices.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Base seed for the whole process: ODQ_TEST_SEED env var, else a fixed
+// default so CI is deterministic. Read once.
+inline std::uint64_t base_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("ODQ_TEST_SEED");
+    if (env != nullptr && *env != '\0') {
+      return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 0));
+    }
+    return static_cast<std::uint64_t>(0x0D0DC0DEULL);  // fixed default
+  }();
+  return seed;
+}
+
+inline std::uint64_t case_seed(std::uint64_t index) {
+  return mix64(base_seed() ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+}
+
+// One randomized case: an Rng seeded by case_seed(index) plus a ScopedTrace
+// that prints the replay line on any assertion failure inside the case.
+class Case {
+ public:
+  Case(const char* file, int line, std::uint64_t index)
+      : index_(index),
+        seed_(case_seed(index)),
+        rng_(seed_),
+        trace_(file, line,
+               "replay: ODQ_TEST_SEED=" + std::to_string(base_seed()) +
+                   " (case " + std::to_string(index) + ", seed " +
+                   std::to_string(seed_) + ")") {}
+
+  std::uint64_t index() const { return index_; }
+  std::uint64_t seed() const { return seed_; }
+  util::Rng& rng() { return rng_; }
+
+ private:
+  std::uint64_t index_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+  ::testing::ScopedTrace trace_;
+};
+
+// Usage:  for (int i = 0; i < kCases; ++i) { ODQ_PROP_CASE(c, i); ... }
+#define ODQ_PROP_CASE(var, index) \
+  ::odq::testprop::Case var(__FILE__, __LINE__, (index))
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+// A random conv geometry, bounded small (worst case ~5*4*3*3 MACs per
+// output) so hundreds of cases run in well under a second. Kernel never
+// exceeds the padded input.
+struct ConvGeom {
+  std::int64_t n, c, h, w;      // input [n, c, h, w]
+  std::int64_t oc, k;           // weight [oc, c, k, k]
+  std::int64_t stride, pad;
+
+  std::string str() const {
+    return "n" + std::to_string(n) + " c" + std::to_string(c) + " " +
+           std::to_string(h) + "x" + std::to_string(w) + " oc" +
+           std::to_string(oc) + " k" + std::to_string(k) + " s" +
+           std::to_string(stride) + " p" + std::to_string(pad);
+  }
+};
+
+inline ConvGeom random_conv_geom(util::Rng& rng) {
+  ConvGeom g;
+  g.n = rng.uniform_int(1, 2);
+  g.c = rng.uniform_int(1, 4);
+  g.h = rng.uniform_int(4, 10);
+  g.w = rng.uniform_int(4, 10);
+  g.oc = rng.uniform_int(1, 5);
+  const int kmax = static_cast<int>(std::min<std::int64_t>(5, g.h));
+  do {
+    g.k = 1 + 2 * rng.uniform_int(0, (kmax - 1) / 2);  // odd: 1, 3, 5
+  } while (g.k > g.h || g.k > g.w);
+  g.stride = rng.uniform_int(1, 2);
+  g.pad = rng.uniform_int(0, static_cast<int>(g.k / 2));
+  return g;
+}
+
+// Post-ReLU-style activations: uniform [0, 1).
+inline tensor::Tensor random_activations(util::Rng& rng, tensor::Shape shape) {
+  tensor::Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(0, 1);
+  return t;
+}
+
+// Weight-style values: normal(0, 0.3).
+inline tensor::Tensor random_weights(util::Rng& rng, tensor::Shape shape) {
+  tensor::Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal_f(0, 0.3f);
+  return t;
+}
+
+// Quantized conv operands for a geometry (INT`bits`, the ODQ entry format).
+struct QuantConvCase {
+  quant::QTensor input;   // unsigned activation codes
+  quant::QTensor weight;  // signed weight codes
+};
+
+inline QuantConvCase random_quant_conv(util::Rng& rng, const ConvGeom& g,
+                                       int bits = 4) {
+  tensor::Tensor x =
+      random_activations(rng, tensor::Shape{g.n, g.c, g.h, g.w});
+  tensor::Tensor w =
+      random_weights(rng, tensor::Shape{g.oc, g.c, g.k, g.k});
+  return {quant::quantize_activations(x, bits),
+          quant::quantize_weights(w, bits)};
+}
+
+// Sensitivity threshold mixture: mostly the interesting mid-range
+// (log-uniform over [0.01, 1]), plus the two extremes — 0 (everything
+// sensitive: ODQ must equal the full INT4 conv) and huge (nothing
+// sensitive: predictor-only everywhere).
+inline float random_threshold(util::Rng& rng) {
+  const float p = rng.uniform_f(0, 1);
+  if (p < 0.10f) return 0.0f;
+  if (p < 0.20f) return 1e9f;
+  const float log_lo = -2.0f, log_hi = 0.0f;  // 10^-2 .. 10^0
+  return std::pow(10.0f, rng.uniform_f(log_lo, log_hi));
+}
+
+// A (total_bits, low_bits) pair from the supported precision matrix
+// (mirrors tests/core/test_odq_precisions.cpp).
+struct Precision {
+  int total_bits;
+  int low_bits;
+};
+
+inline Precision random_precision(util::Rng& rng) {
+  static constexpr Precision kCombos[] = {{4, 2}, {4, 1}, {4, 3}, {5, 2},
+                                          {6, 3}, {6, 2}, {7, 3}};
+  return kCombos[rng.uniform_int(0, 6)];
+}
+
+}  // namespace odq::testprop

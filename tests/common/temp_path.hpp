@@ -1,0 +1,22 @@
+// Process-unique temp file paths for tests.
+//
+// ctest (and the label-sharded CI) runs every discovered gtest case as its
+// own process, many in parallel. A fixture whose temp file is a fixed name
+// under TempDir() races against its sibling cases: one process's TearDown
+// unlinks the file another process is mid-save on. Suffixing the pid makes
+// the path unique per test process while staying deterministic within one.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include <unistd.h>
+
+namespace odq::testutil {
+
+inline std::string temp_path(const std::string& basename) {
+  return ::testing::TempDir() + basename + "." + std::to_string(::getpid());
+}
+
+}  // namespace odq::testutil

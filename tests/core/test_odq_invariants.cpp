@@ -1,9 +1,12 @@
 // The load-bearing ODQ invariants (DESIGN.md §6), checked bit-exactly and
-// swept over geometries with TEST_P.
+// swept over geometries with TEST_P. Tensors come from the shared proptest
+// generators, so ODQ_TEST_SEED reseeds this sweep along with the
+// property-based suites (the `seed` arguments below are case indices).
 #include <gtest/gtest.h>
 
 #include <tuple>
 
+#include "common/proptest.hpp"
 #include "core/odq.hpp"
 #include "quant/quantizer.hpp"
 #include "tensor/ops.hpp"
@@ -23,12 +26,10 @@ struct QuantLayer {
 };
 
 QuantLayer make_layer(std::int64_t c, std::int64_t o, std::int64_t h,
-                      std::int64_t k, std::uint64_t seed) {
-  util::Rng rng(seed);
-  Tensor x(Shape{1, c, h, h});
-  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
-  Tensor w(Shape{o, c, k, k});
-  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal_f(0, 0.3f);
+                      std::int64_t k, std::uint64_t case_index) {
+  util::Rng rng(testprop::case_seed(case_index));
+  Tensor x = testprop::random_activations(rng, Shape{1, c, h, h});
+  Tensor w = testprop::random_weights(rng, Shape{o, c, k, k});
   return {quant::quantize_activations(x, 4), quant::quantize_weights(w, 4)};
 }
 

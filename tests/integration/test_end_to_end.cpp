@@ -3,6 +3,8 @@
 // the cross-module contracts the benches rely on.
 #include <gtest/gtest.h>
 
+#include "common/temp_path.hpp"
+
 #include <memory>
 
 #include "accel/simulator.hpp"
@@ -53,7 +55,7 @@ class EndToEnd : public ::testing::Test {
   // Copy of the trained fixture model (weights only; same architecture).
   static nn::Model clone_model() {
     nn::Model copy = nn::make_resnet(8, 4, 4);
-    const std::string tmp = ::testing::TempDir() + "e2e_clone.bin";
+    const std::string tmp = odq::testutil::temp_path("e2e_clone.bin");
     model_->save(tmp);
     copy.load(tmp);
     std::remove(tmp.c_str());
@@ -180,7 +182,7 @@ TEST_F(EndToEnd, ThresholdSearchFindsWorkingThreshold) {
   core::OdqConfig base;
   // Copy the model so the shared fixture stays untouched.
   nn::Model copy = nn::make_resnet(8, 4, 4);
-  const std::string tmp = ::testing::TempDir() + "e2e_model.bin";
+  const std::string tmp = odq::testutil::temp_path("e2e_model.bin");
   model_->save(tmp);
   copy.load(tmp);
   std::remove(tmp.c_str());

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/temp_path.hpp"
+
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -66,7 +68,7 @@ Tensor probe_input(std::uint64_t seed) {
 
 class CheckpointRobustnessTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "odq_ckpt_robust.bin";
+  std::string path_ = odq::testutil::temp_path("odq_ckpt_robust.bin");
   void TearDown() override {
     util::fault_configure("");
     std::remove(path_.c_str());

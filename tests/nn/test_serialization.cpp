@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "common/temp_path.hpp"
+
 #include <cstdio>
 
 #include "nn/init.hpp"
@@ -15,7 +17,7 @@ using tensor::Tensor;
 
 class SerializationTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "odq_model_test.bin";
+  std::string path_ = odq::testutil::temp_path("odq_model_test.bin");
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

@@ -99,6 +99,16 @@ TEST_F(MetricsTest, ParallelCountsMatchSerialExactly) {
   }
 }
 
+TEST_F(MetricsTest, GaugeAddAccumulatesDeltas) {
+  obs::Gauge& g = obs::gauge("t.gauge.delta");
+  g.add(2.5);
+  g.add(1.0);
+  g.add(-0.5);  // the serve engine's in-flight gauge decrements this way
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set(10.0);  // set still overwrites accumulated deltas
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
 TEST_F(MetricsTest, SnapshotIsSortedAndTyped) {
   obs::counter("t.snap.b").add(2);
   obs::gauge("t.snap.a").set(1.5);

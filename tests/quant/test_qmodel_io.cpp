@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/temp_path.hpp"
+
 #include <cstdio>
 
 #include "nn/init.hpp"
@@ -18,7 +20,7 @@ using tensor::Tensor;
 
 class QModelIoTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "odq_qmodel_test.bin";
+  std::string path_ = odq::testutil::temp_path("odq_qmodel_test.bin");
   void TearDown() override { std::remove(path_.c_str()); }
 
   static Tensor random_image(Shape shape, std::uint64_t seed) {

@@ -1,0 +1,147 @@
+// RequestQueue: FIFO order, batch gathering, deadline flush, backpressure
+// and the close-then-drain shutdown contract.
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace odq::serve {
+namespace {
+
+using util::StatusCode;
+
+PendingRequest make_req(std::uint64_t id) {
+  PendingRequest r;
+  r.id = id;
+  r.enqueue_tp = std::chrono::steady_clock::now();
+  return r;
+}
+
+std::vector<std::uint64_t> ids(const std::vector<PendingRequest>& batch) {
+  std::vector<std::uint64_t> out;
+  for (const PendingRequest& r : batch) out.push_back(r.id);
+  return out;
+}
+
+TEST(RequestQueue, PopsInPushOrder) {
+  RequestQueue q(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.push(make_req(i)).ok());
+  }
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(q.pop_batch(batch, 8, 0));
+  EXPECT_EQ(ids(batch), (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RequestQueue, BatchGatherStopsAtMaxBatch) {
+  RequestQueue q(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.push(make_req(i)).ok());
+  }
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(q.pop_batch(batch, 3, 1000000));
+  EXPECT_EQ(ids(batch), (std::vector<std::uint64_t>{0, 1, 2}));
+  ASSERT_TRUE(q.pop_batch(batch, 3, 0));
+  EXPECT_EQ(ids(batch), (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, DeadlineFlushWaitsRelativeToOldestRequest) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_req(0)).ok());
+  // One request, max_batch 4: pop_batch must hold the batch open until the
+  // oldest request has waited ~flush_timeout_us, then flush it alone.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(q.pop_batch(batch, 4, 50000));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_EQ(batch.size(), 1u);
+  // Lower bound only (upper bounds are scheduler-dependent). The request
+  // was enqueued just before t0, so ~the full timeout must have elapsed.
+  EXPECT_GE(elapsed, 30000);
+}
+
+TEST(RequestQueue, BackloggedQueueFlushesImmediately) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_req(0)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(q.push(make_req(1)).ok());
+  // The oldest request is already past a 1ms deadline: no further waiting.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(q.pop_batch(batch, 8, 1000));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_LT(elapsed, 1000);  // generous: "did not wait another full cycle"
+}
+
+TEST(RequestQueue, TryPushRefusesWhenFull) {
+  RequestQueue q(2);
+  ASSERT_TRUE(q.try_push(make_req(0)).ok());
+  ASSERT_TRUE(q.try_push(make_req(1)).ok());
+  util::Status s = q.try_push(make_req(2));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(q.pop_batch(batch, 1, 0));
+  EXPECT_TRUE(q.try_push(make_req(2)).ok());
+}
+
+TEST(RequestQueue, PushBlocksUntilSpaceFrees) {
+  RequestQueue q(1);
+  ASSERT_TRUE(q.push(make_req(0)).ok());
+  std::thread popper([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<PendingRequest> batch;
+    ASSERT_TRUE(q.pop_batch(batch, 1, 0));
+  });
+  // Blocks until the popper drains the slot, then succeeds.
+  EXPECT_TRUE(q.push(make_req(1)).ok());
+  popper.join();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RequestQueue, CloseRejectsPushesButDrainsAcceptedRequests) {
+  RequestQueue q(8);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.push(make_req(i)).ok());
+  }
+  q.close();
+  q.close();  // idempotent
+
+  util::Status s = q.push(make_req(9));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(q.try_push(make_req(9)).code(), StatusCode::kUnavailable);
+
+  // A closed queue flushes immediately regardless of the deadline...
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(q.pop_batch(batch, 8, 1000000000));
+  EXPECT_EQ(ids(batch), (std::vector<std::uint64_t>{0, 1, 2}));
+  // ...and reports drained with `false` once empty.
+  EXPECT_FALSE(q.pop_batch(batch, 8, 0));
+}
+
+TEST(RequestQueue, CloseWakesBlockedPopper) {
+  RequestQueue q(4);
+  std::thread popper([&q] {
+    std::vector<PendingRequest> batch;
+    EXPECT_FALSE(q.pop_batch(batch, 4, 1000000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  popper.join();
+}
+
+}  // namespace
+}  // namespace odq::serve

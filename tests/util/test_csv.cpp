@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/temp_path.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -18,7 +20,7 @@ std::string read_file(const std::string& path) {
 
 class CsvTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "odq_csv_test.csv";
+  std::string path_ = odq::testutil::temp_path("odq_csv_test.csv");
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

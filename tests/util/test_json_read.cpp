@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/temp_path.hpp"
+
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -72,7 +74,7 @@ TEST(JsonRead, RoundTripsJsonWriterOutput) {
 }
 
 TEST(JsonRead, ParseFileReadsAndReportsMissing) {
-  const std::string path = ::testing::TempDir() + "json_read_test.json";
+  const std::string path = odq::testutil::temp_path("json_read_test.json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   ASSERT_NE(f, nullptr);
   std::fputs("{\"k\": [1, 2, 3]}", f);
@@ -121,7 +123,7 @@ TEST(JsonRead, TryParseReturnsValueOrCorruption) {
 }
 
 TEST(JsonRead, TryParseFileDistinguishesMissingFromCorrupt) {
-  const std::string path = ::testing::TempDir() + "json_try_file_test.json";
+  const std::string path = odq::testutil::temp_path("json_try_file_test.json");
   std::remove(path.c_str());
   EXPECT_EQ(json_try_parse_file(path).status().code(), StatusCode::kNotFound);
 
@@ -138,7 +140,7 @@ TEST(JsonRead, TryParseFileDistinguishesMissingFromCorrupt) {
 }
 
 TEST(JsonRead, TryParseFileHonorsFaultSites) {
-  const std::string path = ::testing::TempDir() + "json_fault_test.json";
+  const std::string path = odq::testutil::temp_path("json_fault_test.json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   ASSERT_NE(f, nullptr);
   std::fputs("[1]", f);

@@ -1,0 +1,217 @@
+// Randomized JsonWriter -> json_parse round-trip (docs/testing.md):
+// generate a random document tree, serialize it with the streaming writer,
+// parse it back, and require exact equality — numbers bit-for-bit (the
+// writer's %.17g is a lossless double encoding), strings byte-for-byte
+// through escaping, structure node-for-node.
+//
+// Non-finite numbers are excluded: the writer deliberately emits them as
+// null (JSON has no Inf/NaN), so they cannot round-trip by design.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/proptest.hpp"
+#include "util/json.hpp"
+#include "util/json_read.hpp"
+#include "util/rng.hpp"
+
+namespace odq::util {
+namespace {
+
+double random_finite_double(Rng& rng) {
+  switch (rng.uniform_int(0, 5)) {
+    case 0:  // small integers (exact in double)
+      return static_cast<double>(rng.uniform_int(-1000000, 1000000));
+    case 1:  // plain fractions
+      return rng.uniform_f(-1, 1);
+    case 2: {  // wide dynamic range
+      const int exp = rng.uniform_int(-300, 300);
+      return std::pow(10.0, exp) * (rng.uniform_f(0, 1) + 0.1);
+    }
+    case 3:
+      return 0.0;
+    case 4:
+      return -0.0;
+    default:  // extreme magnitudes, including a denormal
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          return 1.7976931348623157e308;  // DBL_MAX
+        case 1:
+          return 5e-324;  // smallest denormal
+        default:
+          return 2.2250738585072014e-308;  // DBL_MIN
+      }
+  }
+}
+
+std::string random_string(Rng& rng) {
+  static const char* kPieces[] = {
+      "a",     "Z",    "0",        " ",    "\"",       "\\",
+      "\n",    "\t",   "\r",       "\x01", "/",        "{",
+      "}",     "[",    "]",        ",",    ":",        "\xC3\xA9" /* é */,
+      "\xE2\x82\xAC" /* euro */,   "end",  "\xF0\x9F\x9A\x80" /* rocket */};
+  std::string s;
+  const int n = rng.uniform_int(0, 12);
+  for (int i = 0; i < n; ++i) {
+    s += kPieces[rng.uniform_int(
+        0, static_cast<int>(sizeof(kPieces) / sizeof(kPieces[0])) - 1)];
+  }
+  return s;
+}
+
+JsonValue random_json(Rng& rng, int depth) {
+  JsonValue v;
+  // Containers get rarer with depth so trees stay small and terminate.
+  const int kind_max = depth >= 3 ? 3 : 5;
+  switch (rng.uniform_int(0, kind_max)) {
+    case 0:
+      v.kind = JsonValue::Kind::kNull;
+      break;
+    case 1:
+      v.kind = JsonValue::Kind::kBool;
+      v.b = rng.uniform_int(0, 1) == 1;
+      break;
+    case 2:
+      v.kind = JsonValue::Kind::kNumber;
+      v.num = random_finite_double(rng);
+      break;
+    case 3:
+      v.kind = JsonValue::Kind::kString;
+      v.str = random_string(rng);
+      break;
+    case 4: {
+      v.kind = JsonValue::Kind::kArray;
+      const int n = rng.uniform_int(0, 4);
+      for (int i = 0; i < n; ++i) v.arr.push_back(random_json(rng, depth + 1));
+      break;
+    }
+    default: {
+      v.kind = JsonValue::Kind::kObject;
+      const int n = rng.uniform_int(0, 4);
+      for (int i = 0; i < n; ++i) {
+        // Map keys dedupe automatically; suffix with the index so every
+        // generated member survives.
+        v.obj[random_string(rng) + "#" + std::to_string(i)] =
+            random_json(rng, depth + 1);
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+void write_json(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      w.value_null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.b);
+      break;
+    case JsonValue::Kind::kNumber:
+      w.value(v.num);
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.str);
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& e : v.arr) write_json(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.obj) {
+        w.key(k);
+        write_json(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+::testing::AssertionResult json_equal(const JsonValue& a, const JsonValue& b,
+                                      const std::string& path) {
+  if (a.kind != b.kind) {
+    return ::testing::AssertionFailure()
+           << path << ": kind " << static_cast<int>(a.kind) << " vs "
+           << static_cast<int>(b.kind);
+  }
+  switch (a.kind) {
+    case JsonValue::Kind::kNull:
+      return ::testing::AssertionSuccess();
+    case JsonValue::Kind::kBool:
+      if (a.b != b.b) {
+        return ::testing::AssertionFailure() << path << ": bool differs";
+      }
+      return ::testing::AssertionSuccess();
+    case JsonValue::Kind::kNumber:
+      // Bit-for-bit, so signed zero and every last ulp must survive.
+      if (std::memcmp(&a.num, &b.num, sizeof(double)) != 0) {
+        return ::testing::AssertionFailure()
+               << path << ": number " << a.num << " vs " << b.num;
+      }
+      return ::testing::AssertionSuccess();
+    case JsonValue::Kind::kString:
+      if (a.str != b.str) {
+        return ::testing::AssertionFailure() << path << ": string differs";
+      }
+      return ::testing::AssertionSuccess();
+    case JsonValue::Kind::kArray: {
+      if (a.arr.size() != b.arr.size()) {
+        return ::testing::AssertionFailure() << path << ": array size";
+      }
+      for (std::size_t i = 0; i < a.arr.size(); ++i) {
+        auto r = json_equal(a.arr[i], b.arr[i],
+                            path + "[" + std::to_string(i) + "]");
+        if (!r) return r;
+      }
+      return ::testing::AssertionSuccess();
+    }
+    case JsonValue::Kind::kObject: {
+      if (a.obj.size() != b.obj.size()) {
+        return ::testing::AssertionFailure() << path << ": object size";
+      }
+      for (const auto& [k, e] : a.obj) {
+        if (!b.obj.count(k)) {
+          return ::testing::AssertionFailure() << path << ": missing " << k;
+        }
+        auto r = json_equal(e, b.obj.at(k), path + "." + k);
+        if (!r) return r;
+      }
+      return ::testing::AssertionSuccess();
+    }
+  }
+  return ::testing::AssertionFailure() << path << ": unreachable";
+}
+
+TEST(JsonRoundTrip, RandomDocumentsSurviveWriteParseExactly) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ODQ_PROP_CASE(c, i);
+    // Root is what the repo's writers produce: an object or array.
+    JsonValue root = random_json(c.rng(), 0);
+    if (root.kind != JsonValue::Kind::kObject &&
+        root.kind != JsonValue::Kind::kArray) {
+      JsonValue wrapped;
+      wrapped.kind = JsonValue::Kind::kArray;
+      wrapped.arr.push_back(std::move(root));
+      root = std::move(wrapped);
+    }
+
+    JsonWriter w;
+    write_json(w, root);
+    const std::string text = w.take();
+    JsonValue parsed = json_parse(text);
+    EXPECT_TRUE(json_equal(root, parsed, "$")) << "document: " << text;
+
+    // Idempotence: write(parse(write(v))) must be byte-identical.
+    JsonWriter w2;
+    write_json(w2, parsed);
+    EXPECT_EQ(text, w2.take());
+  }
+}
+
+}  // namespace
+}  // namespace odq::util

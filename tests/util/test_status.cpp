@@ -43,6 +43,7 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(status_code_name(StatusCode::kCorruption), "corruption");
   EXPECT_STREQ(status_code_name(StatusCode::kFailedPrecondition),
                "failed_precondition");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "unavailable");
 }
 
 TEST(StatusOr, HoldsValue) {

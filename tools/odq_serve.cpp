@@ -1,0 +1,445 @@
+// odq_serve — batched inference serving engine driven by a synthetic
+// client workload (load generator + bit-identity verifier).
+//
+//   odq_serve --model lenet5 --scheme odq --workers 4 --requests 1000
+//             --verify --json serve.json
+//
+// Builds the requested model (optionally loading a v3 checkpoint into every
+// worker replica), starts a ServeEngine, and drives it from concurrent
+// client threads submitting single-sample requests. Reports p50/p95/p99
+// latency, throughput and the observed batch-size distribution, and mirrors
+// the results as a bench-JSON document odq_bench_diff can gate: the
+// deterministic cells (request/error counts, bit-identity) live in the
+// "serve" section; wall-clock cells live in "serve_host_wall_clock", which
+// the gate ignores by default.
+//
+// --verify re-runs every request sequentially (batch size 1, fresh session)
+// and compares outputs bit-for-bit against the served responses: dynamic
+// batching must be a pure scheduling decision, never a numerical one.
+//
+// Options:
+//   --model <name>        lenet5 | resnet20 | resnet56 | vgg16 | densenet
+//   --scheme <s>          odq | drq | static_int8 | fp32     (default odq)
+//   --checkpoint <path>   v3 checkpoint loaded into every worker replica
+//   --save-checkpoint <p> write the initialized model as a v3 checkpoint
+//                         and exit (companion for --checkpoint runs)
+//   --workers <n>         engine worker threads (default 4)
+//   --clients <n>         concurrent submitting clients (default 4)
+//   --requests <n>        total requests (default 1000)
+//   --max-batch <n>       batch flush size (default 8)
+//   --flush-us <n>        batch flush deadline in µs (default 2000)
+//   --queue-cap <n>       queue capacity / backpressure bound (default 64)
+//   --arrival-us <n>      mean inter-arrival sleep per client (default 0)
+//   --threshold <t>       ODQ sensitivity threshold (default 0.15)
+//   --width <w>           model width parameter (default 8)
+//   --seed <s>            workload seed (default 42)
+//   --verify              check bit-identity against sequential execution
+//   --require-batching    fail unless some batch carried > 1 request
+//   --json <path>         write the bench-JSON document
+//   --quiet               suppress the human-readable summary on stderr
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/odq.hpp"
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "serve/engine.hpp"
+#include "serve/session.hpp"
+#include "tensor/tensor.hpp"
+#include "tool_main.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace odq;
+
+struct Options {
+  std::string model = "lenet5";
+  std::string scheme = "odq";
+  std::string checkpoint;
+  std::string save_checkpoint;
+  std::string json_path;
+  int workers = 4;
+  int clients = 4;
+  std::int64_t requests = 1000;
+  std::int64_t max_batch = 8;
+  std::int64_t flush_us = 2000;
+  std::int64_t queue_cap = 64;
+  std::int64_t arrival_us = 0;
+  float threshold = 0.15f;
+  std::int64_t width = 8;
+  std::uint64_t seed = 42;
+  bool verify = false;
+  bool require_batching = false;
+  bool quiet = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: odq_serve [--model lenet5|resnet20|resnet56|vgg16|densenet]\n"
+      "                 [--scheme odq|drq|static_int8|fp32]\n"
+      "                 [--checkpoint ckpt.bin] [--save-checkpoint ckpt.bin]\n"
+      "                 [--workers n] [--clients n] [--requests n]\n"
+      "                 [--max-batch n] [--flush-us n] [--queue-cap n]\n"
+      "                 [--arrival-us n] [--threshold t] [--width w]\n"
+      "                 [--seed s] [--verify] [--require-batching]\n"
+      "                 [--json out.json] [--quiet]\n");
+  return 2;
+}
+
+nn::Model build_model(const Options& opt, int* classes) {
+  *classes = 10;
+  if (opt.model == "lenet" || opt.model == "lenet5") {
+    return nn::make_lenet5(*classes);
+  }
+  if (opt.model == "resnet20") return nn::make_resnet(20, *classes, opt.width);
+  if (opt.model == "resnet56") return nn::make_resnet(56, *classes, opt.width);
+  if (opt.model == "vgg16") return nn::make_vgg16(*classes, opt.width);
+  if (opt.model == "densenet") {
+    return nn::make_densenet(*classes, opt.width / 2 + 2, 3);
+  }
+  throw std::invalid_argument("unknown model " + opt.model);
+}
+
+// Every replica must hold identical weights or batched-vs-sequential
+// comparisons would measure replica skew, not batching: deterministic init
+// from a fixed seed, then (optionally) the same checkpoint.
+nn::Model build_replica(const Options& opt) {
+  int classes = 10;
+  nn::Model model = build_model(opt, &classes);
+  nn::kaiming_init(model, 1);
+  if (!opt.checkpoint.empty()) {
+    model.try_load(opt.checkpoint).throw_if_error();
+  }
+  return model;
+}
+
+std::unique_ptr<serve::ModelSession> make_session(const Options& opt) {
+  core::OdqConfig cfg;
+  cfg.threshold = opt.threshold;
+  return std::make_unique<serve::ModelSession>(
+      build_replica(opt), serve::make_conv_executor(opt.scheme, cfg),
+      opt.scheme);
+}
+
+// Deterministic synthetic request: id -> [1,C,H,W] tensor, independent of
+// submission order (so the sequential verifier can regenerate it).
+tensor::Tensor make_request_input(const Options& opt, std::uint64_t id,
+                                  const tensor::Shape& chw) {
+  util::Rng rng(opt.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)));
+  tensor::Tensor x(tensor::Shape{1, chw[0], chw[1], chw[2]});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
+  return x;
+}
+
+bool bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int tool_main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "odq_serve: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--model") {
+      opt.model = next("--model");
+    } else if (a == "--scheme") {
+      opt.scheme = next("--scheme");
+    } else if (a == "--checkpoint") {
+      opt.checkpoint = next("--checkpoint");
+    } else if (a == "--save-checkpoint") {
+      opt.save_checkpoint = next("--save-checkpoint");
+    } else if (a == "--workers") {
+      opt.workers = std::atoi(next("--workers"));
+    } else if (a == "--clients") {
+      opt.clients = std::atoi(next("--clients"));
+    } else if (a == "--requests") {
+      opt.requests = std::atoll(next("--requests"));
+    } else if (a == "--max-batch") {
+      opt.max_batch = std::atoll(next("--max-batch"));
+    } else if (a == "--flush-us") {
+      opt.flush_us = std::atoll(next("--flush-us"));
+    } else if (a == "--queue-cap") {
+      opt.queue_cap = std::atoll(next("--queue-cap"));
+    } else if (a == "--arrival-us") {
+      opt.arrival_us = std::atoll(next("--arrival-us"));
+    } else if (a == "--threshold") {
+      opt.threshold = std::strtof(next("--threshold"), nullptr);
+    } else if (a == "--width") {
+      opt.width = std::atoll(next("--width"));
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(next("--seed"), nullptr, 0);
+    } else if (a == "--verify") {
+      opt.verify = true;
+    } else if (a == "--require-batching") {
+      opt.require_batching = true;
+    } else if (a == "--json") {
+      opt.json_path = next("--json");
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.workers < 1 || opt.clients < 1 || opt.requests < 1 ||
+      opt.max_batch < 1 || opt.queue_cap < 1 || opt.width < 1) {
+    return usage();
+  }
+
+  if (!opt.save_checkpoint.empty()) {
+    int classes = 10;
+    nn::Model model = build_model(opt, &classes);
+    nn::kaiming_init(model, 1);
+    model.try_save(opt.save_checkpoint).throw_if_error();
+    if (!opt.quiet) {
+      std::fprintf(stderr, "odq_serve: wrote v3 checkpoint %s\n",
+                   opt.save_checkpoint.c_str());
+    }
+    return 0;
+  }
+
+  const tensor::Shape input_chw =
+      (opt.model == "lenet" || opt.model == "lenet5")
+          ? tensor::Shape{1, 28, 28}
+          : tensor::Shape{3, 32, 32};
+
+  // Keep a handle on each replica's ODQ executor so the summary can report
+  // the whole-run sensitive fraction the executors measured.
+  std::vector<std::shared_ptr<nn::ConvExecutor>> worker_execs(
+      static_cast<std::size_t>(opt.workers));
+
+  serve::EngineConfig ecfg;
+  ecfg.num_workers = opt.workers;
+  ecfg.queue_capacity = static_cast<std::size_t>(opt.queue_cap);
+  ecfg.max_batch = static_cast<std::size_t>(opt.max_batch);
+  ecfg.flush_timeout_us = opt.flush_us;
+  serve::ServeEngine engine(ecfg, [&](int worker_id) {
+    std::unique_ptr<serve::ModelSession> s = make_session(opt);
+    worker_execs[static_cast<std::size_t>(worker_id)] = s->executor();
+    return s;
+  });
+
+  const std::int64_t n = opt.requests;
+  std::vector<std::future<serve::InferResponse>> futures(
+      static_cast<std::size_t>(n));
+  std::vector<serve::InferResponse> responses(static_cast<std::size_t>(n));
+  std::vector<util::Status> submit_errors(static_cast<std::size_t>(n));
+
+  // Load phase: `clients` threads submit disjoint contiguous request
+  // ranges as fast as --arrival-us allows; backpressure (bounded queue)
+  // throttles them against the workers.
+  util::WallTimer load_timer;
+  {
+    std::vector<std::thread> clients;
+    const std::int64_t per =
+        (n + opt.clients - 1) / static_cast<std::int64_t>(opt.clients);
+    for (int c = 0; c < opt.clients; ++c) {
+      const std::int64_t lo = c * per;
+      const std::int64_t hi = std::min<std::int64_t>(n, lo + per);
+      if (lo >= hi) break;
+      clients.emplace_back([&, lo, hi, c] {
+        util::Rng arrival_rng(opt.seed + 1000003ULL * (c + 1));
+        for (std::int64_t r = lo; r < hi; ++r) {
+          if (opt.arrival_us > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(arrival_rng.uniform_int(
+                    0, static_cast<int>(2 * opt.arrival_us))));
+          }
+          auto fut = engine.submit(make_request_input(opt, r, input_chw));
+          if (fut.ok()) {
+            futures[static_cast<std::size_t>(r)] = std::move(*fut);
+          } else {
+            submit_errors[static_cast<std::size_t>(r)] = fut.status();
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (std::int64_t r = 0; r < n; ++r) {
+      auto& fut = futures[static_cast<std::size_t>(r)];
+      if (fut.valid()) {
+        responses[static_cast<std::size_t>(r)] = fut.get();
+      } else {
+        responses[static_cast<std::size_t>(r)].status =
+            submit_errors[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+  const double load_seconds = load_timer.seconds();
+  engine.shutdown();
+  const serve::EngineStats stats = engine.stats();
+
+  std::int64_t errors = 0;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(n));
+  for (const serve::InferResponse& res : responses) {
+    if (!res.status.ok()) {
+      ++errors;
+      continue;
+    }
+    latencies_ms.push_back(res.latency_us() / 1000.0);
+  }
+  const double p50 = util::percentile(latencies_ms, 0.50);
+  const double p95 = util::percentile(latencies_ms, 0.95);
+  const double p99 = util::percentile(latencies_ms, 0.99);
+  const double throughput =
+      load_seconds > 0 ? static_cast<double>(n) / load_seconds : 0.0;
+
+  // Sequential oracle: same inputs, fresh replica, one request at a time.
+  // Bit-identity is the serving engine's core invariant — how requests
+  // were coalesced must never show up in the outputs.
+  bool bit_identical = true;
+  std::int64_t verified = 0;
+  if (opt.verify) {
+    std::unique_ptr<serve::ModelSession> oracle = make_session(opt);
+    for (std::int64_t r = 0; r < n; ++r) {
+      const serve::InferResponse& res = responses[static_cast<std::size_t>(r)];
+      if (!res.status.ok()) continue;
+      tensor::Tensor expected =
+          oracle->run(make_request_input(opt, r, input_chw));
+      if (!bitwise_equal(expected, res.output)) {
+        bit_identical = false;
+        if (!opt.quiet) {
+          std::fprintf(stderr,
+                       "odq_serve: MISMATCH request %lld (batch_size %zu, "
+                       "worker %d)\n",
+                       static_cast<long long>(r), res.batch_size,
+                       res.worker_id);
+        }
+      }
+      ++verified;
+    }
+  }
+
+  const double multi_frac =
+      stats.batches > 0 ? static_cast<double>(stats.multi_request_batches) /
+                              static_cast<double>(stats.batches)
+                        : 0.0;
+
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "odq_serve: %s/%s  %d worker(s), %d client(s), %lld "
+                 "requests (%lld errors, %" PRIu64 " rejected)\n",
+                 opt.model.c_str(), opt.scheme.c_str(), opt.workers,
+                 opt.clients, static_cast<long long>(n),
+                 static_cast<long long>(errors), stats.rejected);
+    std::fprintf(stderr,
+                 "  latency  p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n", p50,
+                 p95, p99);
+    std::fprintf(stderr, "  throughput %.1f req/s over %.2f s\n", throughput,
+                 load_seconds);
+    std::fprintf(stderr, "  batches %" PRIu64 " (%.0f%% multi-request, "
+                 "largest %" PRIu64 ")\n",
+                 stats.batches, 100.0 * multi_frac, stats.max_batch_observed);
+    std::fprintf(stderr, "  batch-size histogram:");
+    for (std::size_t k = 1; k < stats.batch_size_hist.size(); ++k) {
+      if (stats.batch_size_hist[k] > 0) {
+        std::fprintf(stderr, "  %zu:%" PRIu64, k, stats.batch_size_hist[k]);
+      }
+    }
+    std::fputc('\n', stderr);
+    if (opt.scheme == "odq") {
+      core::OdqLayerStats total;
+      for (const auto& exec : worker_execs) {
+        auto* odq_exec = dynamic_cast<core::OdqConvExecutor*>(exec.get());
+        if (odq_exec != nullptr) total.merge(odq_exec->total_stats());
+      }
+      std::fprintf(stderr, "  odq sensitive fraction %.1f%% over %lld outputs\n",
+                   100.0 * total.sensitive_fraction(),
+                   static_cast<long long>(total.outputs));
+    }
+    if (opt.verify) {
+      std::fprintf(stderr, "  verify: %lld outputs %s\n",
+                   static_cast<long long>(verified),
+                   bit_identical ? "bit-identical to sequential execution"
+                                 : "DIVERGED from sequential execution");
+    }
+  }
+
+  if (!opt.json_path.empty()) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.kv("bench", "odq_serve");
+    w.kv("reproduces",
+         "serving load run: dynamic batching with single-request "
+         "bit-identity");
+    w.kv("scale", opt.model);
+    w.key("rows");
+    w.begin_array();
+    w.begin_object();
+    w.kv("section", "serve");
+    w.kv("model", opt.model);
+    w.kv("scheme", opt.scheme);
+    w.kv("workers", opt.workers);
+    w.kv("max_batch", opt.max_batch);
+    w.kv("requests", n);
+    w.kv("errors", errors);
+    w.kv("rejected", static_cast<std::int64_t>(stats.rejected));
+    if (opt.verify) w.kv("bit_identical", bit_identical ? 1 : 0);
+    w.end_object();
+    w.begin_object();
+    w.kv("section", "serve_host_wall_clock");
+    w.kv("model", opt.model);
+    w.kv("scheme", opt.scheme);
+    w.kv("p50_ms", p50);
+    w.kv("p95_ms", p95);
+    w.kv("p99_ms", p99);
+    w.kv("throughput_rps", throughput);
+    w.kv("total_seconds", load_seconds);
+    w.kv("batches", static_cast<std::int64_t>(stats.batches));
+    w.kv("multi_request_batch_frac", multi_frac);
+    w.kv("max_batch_observed",
+         static_cast<std::int64_t>(stats.max_batch_observed));
+    w.end_object();
+    w.end_array();
+    w.end_object();
+
+    const std::string doc = w.take();
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "odq_serve: cannot open %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  if (errors > 0) return 1;
+  if (opt.verify && !bit_identical) return 1;
+  if (opt.require_batching && stats.multi_request_batches == 0) {
+    std::fprintf(stderr,
+                 "odq_serve: --require-batching: every batch carried a "
+                 "single request\n");
+    return 1;
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return odq::tools::run_guarded("odq_serve",
+                                 [&] { return tool_main(argc, argv); });
+}
