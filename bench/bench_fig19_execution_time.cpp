@@ -116,5 +116,52 @@ int main(int argc, char** argv) {
                    {"pooled_seconds", pooled_s},
                    {"pool_threads", util::ThreadPool::global().size()},
                    {"speedup", serial_s / pooled_s}});
+
+  // Threshold sweep over the same conv stack: the mask-aware sparse
+  // epilogue runs Eq. 3 only over the compacted sensitive lists, so host
+  // wall time must fall with the sensitive fraction. The fractions are
+  // deterministic (fixed rng seed) and gated by odq_bench_diff; the
+  // *_seconds cells are wall-clock and auto-ignored by the gate.
+  std::printf("\nHost threshold sweep — sensitive fraction vs wall time:\n");
+  std::printf("%-10s %-14s %-10s\n", "threshold", "sensitive frac", "secs");
+  bench::print_rule();
+  for (const float thr : {0.0f, 4.0f, 8.0f, 16.0f, 32.0f}) {
+    core::OdqConfig sweep_cfg;
+    sweep_cfg.threshold = thr;
+    util::Rng rng(1);
+    auto fill = [&](tensor::Tensor& t, bool act) {
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        t[i] = act ? rng.uniform_f(0, 1) : rng.normal_f(0, 0.3f);
+      }
+    };
+    tensor::Tensor x1(tensor::Shape{8, 16, 16, 16}), w1(tensor::Shape{16, 16, 3, 3});
+    tensor::Tensor x2(tensor::Shape{8, 32, 8, 8}), w2(tensor::Shape{32, 32, 3, 3});
+    fill(x1, true); fill(w1, false); fill(x2, true); fill(w2, false);
+    tensor::Tensor no_bias;
+    core::OdqLayerStats s1, s2;
+    (void)core::odq_conv_float(x1, w1, no_bias, 1, 1, sweep_cfg);  // warm-up
+    util::WallTimer sweep_t;
+    for (int i = 0; i < 10; ++i) {
+      (void)core::odq_conv_float(x1, w1, no_bias, 1, 1, sweep_cfg, &s1);
+      (void)core::odq_conv_float(x2, w2, no_bias, 1, 1, sweep_cfg, &s2);
+    }
+    const double secs = sweep_t.seconds();
+    core::OdqLayerStats total = s1;
+    total.merge(s2);
+    std::printf("%-10.2f %-14.4f %-10.3f\n", thr, total.sensitive_fraction(),
+                secs);
+    char thr_label[32];
+    std::snprintf(thr_label, sizeof(thr_label), "thr_%.2f",
+                  static_cast<double>(thr));
+    bench::json_row("host_threshold_sweep",
+                    {{"point", std::string(thr_label)},
+                     {"threshold", thr},
+                     {"sensitive_fraction", total.sensitive_fraction()},
+                     {"odq_seconds", secs},
+                     {"pack_seconds", total.pack_seconds},
+                     {"gemm_seconds", total.gemm_seconds},
+                     {"sparse_epilogue_seconds",
+                      total.sparse_epilogue_seconds}});
+  }
   return 0;
 }

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "gemm/gemm.hpp"
+#include "gemm/packed.hpp"
+#include "gemm/sparse_epilogue.hpp"
+#include "nn/epilogue.hpp"
 #include "obs/fidelity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -11,6 +15,7 @@
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace odq::core {
 
@@ -56,32 +61,15 @@ void record_conv_metrics(const OdqLayerStats& s) {
   frac.record(s.sensitive_fraction());
 }
 
-// Dequantize integer accumulators and add the per-channel bias, tiled over
-// (batch, channel) planes on the pool. Each plane is written by exactly one
-// tile, so tiles are independent.
+// Dequantize integer accumulators and add the per-channel bias through the
+// shared conv epilogue helper (nn/epilogue.hpp) — the bias-only case there
+// is the exact fused expression this file used to hand-roll.
 Tensor dequantize_with_bias(const TensorI32& acc, float scale,
                             const Tensor& bias) {
   ODQ_TRACE_SPAN("odq.epilogue");
-  Tensor out(acc.shape());
-  const Shape& s = acc.shape();
-  const std::int64_t oc = s[1], ohw = s[2] * s[3];
-  const std::int32_t* src = acc.data();
-  float* dst = out.data();
-  const float* bp = bias.empty() ? nullptr : bias.data();
-  util::parallel_for(
-      s[0] * oc,
-      [&](std::int64_t t0, std::int64_t t1) {
-        for (std::int64_t t = t0; t < t1; ++t) {
-          const float bv = bp != nullptr ? bp[t % oc] : 0.0f;
-          const std::int32_t* a = src + t * ohw;
-          float* o = dst + t * ohw;
-          for (std::int64_t i = 0; i < ohw; ++i) {
-            o[i] = static_cast<float>(a[i]) * scale + bv;
-          }
-        }
-      },
-      /*grain=*/1);
-  return out;
+  nn::ConvEpilogue e;
+  e.bias = bias;
+  return nn::dequantize_epilogue(acc, scale, e);
 }
 
 // Fidelity attribution for one finished ODQ conv (obs/fidelity.hpp): runs
@@ -162,21 +150,31 @@ OdqConvResult odq_conv_reference(const QTensor& input, const QTensor& weight,
   res.scale = input.scale * weight.scale;
   {
     ODQ_TRACE_SPAN("odq.predictor");
+    // Direct (non-packed) integer conv: the reference path must stay an
+    // independent oracle for the packed-GEMM pipeline, so it shares no code
+    // with it.
     res.predictor_acc =
-        quant::conv2d_i8_fast(in_split.high, w_split.high, stride, pad);
+        quant::conv2d_i8(in_split.high, w_split.high, stride, pad);
     for (std::int64_t i = 0; i < res.predictor_acc.numel(); ++i) {
       res.predictor_acc[i] <<= 2 * lb;
     }
   }
 
-  // Threshold -> bit mask.
+  // Threshold -> bit mask, plus the compacted per-tile index lists the
+  // packed path emits (ascending by construction here too).
   res.mask = TensorU8(Shape{n, oc, oh, ow});
   res.sensitive_per_channel.assign(static_cast<std::size_t>(oc), 0);
+  res.sensitive_lists.batches = n;
+  res.sensitive_lists.channels = oc;
+  res.sensitive_lists.rows = oh * ow;
+  res.sensitive_lists.lists.assign(static_cast<std::size_t>(n * oc), {});
   std::int64_t sensitive = 0;
   {
     ODQ_TRACE_SPAN("odq.mask");
     for (std::int64_t b = 0; b < n; ++b) {
       for (std::int64_t ch = 0; ch < oc; ++ch) {
+        std::vector<std::int32_t>& list =
+            res.sensitive_lists.lists[static_cast<std::size_t>(b * oc + ch)];
         for (std::int64_t i = 0; i < oh * ow; ++i) {
           const std::int64_t idx = ((b * oc + ch) * oh * ow) + i;
           const float mag =
@@ -186,6 +184,7 @@ OdqConvResult odq_conv_reference(const QTensor& input, const QTensor& weight,
           if (sens) {
             ++sensitive;
             ++res.sensitive_per_channel[static_cast<std::size_t>(ch)];
+            list.push_back(static_cast<std::int32_t>(i));
           }
         }
       }
@@ -254,14 +253,6 @@ OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
   check_bits(input, weight, cfg);
   const int lb = cfg.low_bits;
 
-  // Step 2: bit split.
-  quant::SplitTensor in_split, w_split;
-  {
-    ODQ_TRACE_SPAN("odq.bitsplit");
-    in_split = quant::split(input, lb);
-    w_split = quant::split(weight, lb);
-  }
-
   const Shape& is = input.q.shape();
   const Shape& ws = weight.q.shape();
   const std::int64_t n = is[0];
@@ -269,135 +260,54 @@ OdqConvResult odq_conv(const QTensor& input, const QTensor& weight,
   const std::int64_t oc = ws[0], kh = ws[2], kw = ws[3];
   const std::int64_t oh = tensor::conv_out_dim(h, kh, stride, pad);
   const std::int64_t ow = tensor::conv_out_dim(w, kw, stride, pad);
-  const std::int64_t ohw = oh * ow;
 
-  // Step 3: sensitivity prediction — I_HBS x W_HBS shifted by 2*low_bits.
   OdqConvResult res;
   res.scale = input.scale * weight.scale;
+
+  // Step 2 fused with packing: one pass over the codes produces the
+  // digit-split (HBS/LBS), cache-blocked im2col rows and filter panels the
+  // whole pipeline shares (gemm/packed.hpp).
+  gemm::PackedSplitIm2col cols;
+  gemm::PackedSplitWeights wts;
   {
-    ODQ_TRACE_SPAN("odq.predictor");
-    res.predictor_acc =
-        quant::conv2d_i8_fast(in_split.high, w_split.high, stride, pad);
-    std::int32_t* p = res.predictor_acc.data();
-    util::parallel_for(
-        res.predictor_acc.numel(),
-        [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) p[i] <<= 2 * lb;
-        },
-        /*grain=*/1 << 15);
+    ODQ_TRACE_SPAN("odq.pack");
+    util::WallTimer timer;
+    cols = gemm::pack_im2col_split(input.q, lb, kh, kw, stride, pad);
+    wts = gemm::pack_weights_split(weight.q, lb);
+    res.stats.pack_seconds = timer.seconds();
   }
 
-  // Steps 3b+4, fused: one pass over (batch, out-channel) tiles computes the
-  // threshold mask and, for sensitive outputs, immediately adds the three
-  // remaining Eq. (3) terms. Every tile owns disjoint mask/acc planes, and
-  // sensitive/MAC counters are per-tile, reduced serially afterwards — no
-  // atomics anywhere in the inner loop.
-  ODQ_TRACE_SPAN("odq.mask_exec");
-  res.acc = res.predictor_acc;
-  res.mask = TensorU8(Shape{n, oc, oh, ow});
-  res.sensitive_per_channel.assign(static_cast<std::size_t>(oc), 0);
+  // Step 3: sensitivity prediction — tiled INT-GEMM over the high digit
+  // planes with the 2*N_LBS shift folded into the store.
+  {
+    ODQ_TRACE_SPAN("odq.gemm");
+    util::WallTimer timer;
+    res.predictor_acc = gemm::gemm_conv_i8(cols.high, wts.high, 2 * lb);
+    res.stats.gemm_seconds = timer.seconds();
+  }
 
-  const std::int64_t tiles = n * oc;
-  std::vector<std::int64_t> tile_sensitive(static_cast<std::size_t>(tiles), 0);
-  std::vector<std::int64_t> tile_macs(static_cast<std::size_t>(tiles), 0);
-
-  const std::int8_t* ih = in_split.high.data();
-  const std::int8_t* il = in_split.low.data();
-  const std::int8_t* wh = w_split.high.data();
-  const std::int8_t* wl = w_split.low.data();
-  const std::int32_t* pred_base = res.predictor_acc.data();
-  std::int32_t* acc_base = res.acc.data();
-  std::uint8_t* mask_base = res.mask.data();
-  const float scale = res.scale;
-  const float thr = cfg.threshold;
-
-  util::parallel_for(
-      tiles,
-      [&](std::int64_t t0, std::int64_t t1) {
-        for (std::int64_t t = t0; t < t1; ++t) {
-          const std::int64_t b = t / oc;
-          const std::int64_t och = t % oc;
-          const std::int32_t* pred = pred_base + t * ohw;
-          std::int32_t* acc = acc_base + t * ohw;
-          std::uint8_t* mask = mask_base + t * ohw;
-          // Input-plane and weight-row bases for this tile; the ic loops
-          // below only advance them by fixed strides.
-          const std::int8_t* ih_tile = ih + b * c * h * w;
-          const std::int8_t* il_tile = il + b * c * h * w;
-          const std::int8_t* wh_tile = wh + och * c * kh * kw;
-          const std::int8_t* wl_tile = wl + och * c * kh * kw;
-          std::int64_t sens_count = 0;
-          std::int64_t macs = 0;
-          for (std::int64_t oy = 0; oy < oh; ++oy) {
-            // Valid kernel-row window for this output row: fully padded
-            // rows are skipped here, once per row, not per inner MAC.
-            const std::int64_t iy0 = oy * stride - pad;
-            const std::int64_t ki_lo = std::max<std::int64_t>(0, -iy0);
-            const std::int64_t ki_hi = std::min(kh, h - iy0);
-            const std::int64_t ki_n = std::max<std::int64_t>(0, ki_hi - ki_lo);
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
-              const std::int64_t i = oy * ow + ox;
-              const float mag =
-                  std::abs(static_cast<float>(pred[i]) * scale);
-              const bool sens = mag >= thr;
-              mask[i] = sens ? 1 : 0;
-              if (!sens) continue;
-              ++sens_count;
-              const std::int64_t ix0 = ox * stride - pad;
-              const std::int64_t kj_lo = std::max<std::int64_t>(0, -ix0);
-              const std::int64_t kj_hi = std::min(kw, w - ix0);
-              const std::int64_t kj_n =
-                  std::max<std::int64_t>(0, kj_hi - kj_lo);
-              macs += c * ki_n * kj_n;
-              std::int32_t cross = 0;  // ih*wl + il*wh
-              std::int32_t low = 0;    // il*wl
-              const std::int8_t* ih_ch = ih_tile;
-              const std::int8_t* il_ch = il_tile;
-              const std::int8_t* wh_ch = wh_tile;
-              const std::int8_t* wl_ch = wl_tile;
-              for (std::int64_t ic = 0; ic < c; ++ic) {
-                for (std::int64_t ki = ki_lo; ki < ki_hi; ++ki) {
-                  const std::int64_t row = (iy0 + ki) * w + ix0;
-                  const std::int8_t* ihr = ih_ch + row;
-                  const std::int8_t* ilr = il_ch + row;
-                  const std::int8_t* whr = wh_ch + ki * kw;
-                  const std::int8_t* wlr = wl_ch + ki * kw;
-                  for (std::int64_t kj = kj_lo; kj < kj_hi; ++kj) {
-                    const std::int32_t a_h = ihr[kj];
-                    const std::int32_t a_l = ilr[kj];
-                    cross += a_h * wlr[kj] + a_l * whr[kj];
-                    low += a_l * wlr[kj];
-                  }
-                }
-                ih_ch += h * w;
-                il_ch += h * w;
-                wh_ch += kh * kw;
-                wl_ch += kh * kw;
-              }
-              acc[i] += (cross << lb) + low;
-            }
-          }
-          tile_sensitive[static_cast<std::size_t>(t)] = sens_count;
-          tile_macs[static_cast<std::size_t>(t)] = macs;
-        }
-      },
-      /*grain=*/1);
-
-  // Serial reduction of the per-tile counters.
-  std::int64_t sensitive = 0;
-  std::int64_t exec_macs = 0;
-  for (std::int64_t t = 0; t < tiles; ++t) {
-    sensitive += tile_sensitive[static_cast<std::size_t>(t)];
-    exec_macs += tile_macs[static_cast<std::size_t>(t)];
-    res.sensitive_per_channel[static_cast<std::size_t>(t % oc)] +=
-        tile_sensitive[static_cast<std::size_t>(t)];
+  // Steps 3b+4: threshold mask, sensitive-index compaction, and Eq. (3)
+  // result generation over the compacted lists only (gemm/sparse_epilogue).
+  gemm::SparseEpilogueStats es;
+  {
+    obs::TraceSpan span("odq.sparse_epilogue");
+    util::WallTimer timer;
+    res.acc = res.predictor_acc;
+    res.mask = TensorU8(Shape{n, oc, oh, ow});
+    res.sensitive_per_channel.assign(static_cast<std::size_t>(oc), 0);
+    const gemm::ConvShape geom{c, h, w, kh, kw, stride, pad};
+    es = gemm::sparse_result_generation(
+        cols, wts, geom, res.predictor_acc, res.scale, cfg.threshold, res.acc,
+        res.mask, res.sensitive_per_channel, res.sensitive_lists);
+    res.stats.sparse_epilogue_seconds = timer.seconds();
+    span.arg("sensitive", es.sensitive);
   }
 
   res.stats.calls = 1;
   res.stats.outputs = n * oc * oh * ow;
-  res.stats.sensitive = sensitive;
+  res.stats.sensitive = es.sensitive;
   res.stats.predictor_macs = res.stats.outputs * c * kh * kw;
-  res.stats.executor_macs = exec_macs;
+  res.stats.executor_macs = es.executor_macs;
   record_conv_metrics(res.stats);
   return res;
 }

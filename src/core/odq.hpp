@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "gemm/sparse_epilogue.hpp"
 #include "nn/layer.hpp"
 #include "quant/bitsplit.hpp"
 #include "quant/quantizer.hpp"
@@ -60,6 +61,13 @@ struct OdqLayerStats {
   std::int64_t sensitive = 0;
   std::int64_t predictor_macs = 0;  // INT2 MACs (every output)
   std::int64_t executor_macs = 0;   // remaining MACs (sensitive outputs only)
+  // Phase wall time of the packed-GEMM pipeline (zero on the serial
+  // reference path, which has no pack/GEMM phases): operand packing +
+  // digit split, predictor INT-GEMM, and mask-aware sparse result
+  // generation. Additive across calls, like the MAC counters.
+  double pack_seconds = 0.0;
+  double gemm_seconds = 0.0;
+  double sparse_epilogue_seconds = 0.0;
 
   double sensitive_fraction() const {
     return outputs > 0
@@ -73,6 +81,9 @@ struct OdqLayerStats {
     sensitive += other.sensitive;
     predictor_macs += other.predictor_macs;
     executor_macs += other.executor_macs;
+    pack_seconds += other.pack_seconds;
+    gemm_seconds += other.gemm_seconds;
+    sparse_epilogue_seconds += other.sparse_epilogue_seconds;
   }
 };
 
@@ -83,6 +94,10 @@ struct OdqConvResult {
   // Per-output-channel sensitive counts (summed over batch & space) — the
   // accelerator simulator's workload-balance input.
   std::vector<std::int64_t> sensitive_per_channel;
+  // Compacted per-(batch, out-channel) sensitive output-pixel indices, the
+  // executor PE work queues the sparse epilogue consumed. Always consistent
+  // with `mask` and `stats.sensitive` (tests/gemm pins this).
+  gemm::SensitiveLists sensitive_lists;
   float scale = 1.0f;  // float value = acc * scale
   OdqLayerStats stats;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "gemm/gemm.hpp"
 #include "obs/fidelity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -134,7 +135,9 @@ Tensor drq_conv(const Tensor& input, const Tensor& weight, const Tensor& bias,
   Tensor qin = mixed_quantize_input(input, *mask, cfg.hi_bits, cfg.lo_bits);
   Tensor qw = quant::fake_quantize_weights(weight, cfg.hi_bits,
                                            quant::WeightTransform::kLinear);
-  return tensor::conv2d_direct(qin, qw, bias, stride, pad);
+  // Packed float GEMM, bit-identical to the conv2d_direct oracle that
+  // analyze_layer and the fidelity layer still run.
+  return gemm::conv2d_f32(qin, qw, bias, stride, pad);
 }
 
 Tensor DrqConvExecutor::run(const Tensor& input, const Tensor& weight,

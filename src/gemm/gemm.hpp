@@ -1,0 +1,101 @@
+// Tiled conv-GEMM microkernels over packed im2col operands (gemm/packed.hpp).
+//
+// One integer kernel serves every scheme that needs exact accumulators — the
+// ODQ sensitivity predictor (with the 2*N_LBS shift folded into the store),
+// static INT-N codes, and the differential test harness — with a pluggable
+// accumulate type so tests can prove the tiling is overflow-safe headroom
+// aside (int32 vs int64 instantiations must agree bit-for-bit). Integer
+// addition is associative, so any tiling/unroll order is bit-identical to
+// the direct-conv oracle at any thread count.
+//
+// The float kernel is deliberately NOT register-blocked over K: it seeds the
+// accumulator with the bias and adds products in packed-row order with a
+// single running sum — exactly the order tensor::conv2d_direct uses — so the
+// DRQ and static fake-quantized baselines stay bit-identical to the retained
+// direct-conv oracle (zero-padded taps contribute exact ±0.0 terms).
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gemm/packed.hpp"
+#include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace odq::gemm {
+
+namespace detail {
+
+inline void check_operands(std::int64_t cols_k, std::int64_t cols_kp,
+                           std::int64_t wts_k, std::int64_t wts_kp) {
+  if (cols_k != wts_k || cols_kp != wts_kp) {
+    throw std::invalid_argument("gemm_conv: operand depth mismatch");
+  }
+}
+
+}  // namespace detail
+
+// out[((b*oc + f)*rows) + r] = (cols.row(b,r) . wts.row(f)) << shift,
+// accumulated in Acc. `out` must hold cols.batches * wts.oc * cols.rows
+// elements. Parallel over (batch, filter-block) tiles; each tile owns
+// disjoint output planes.
+template <typename Acc>
+void gemm_conv_int(const PackedIm2col& cols, const PackedWeights& wts,
+                   int shift, Acc* out) {
+  detail::check_operands(cols.k, cols.k_padded, wts.k, wts.k_padded);
+  const std::int64_t rows = cols.rows;
+  const std::int64_t kp = cols.k_padded;
+  const std::int64_t oc = wts.oc;
+  const std::int64_t oc_blocks = (oc + kOcTile - 1) / kOcTile;
+  util::parallel_for(
+      cols.batches * oc_blocks,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / oc_blocks;
+          const std::int64_t f0 = (t % oc_blocks) * kOcTile;
+          const std::int64_t f1 = std::min(oc, f0 + kOcTile);
+          for (std::int64_t r0 = 0; r0 < rows; r0 += kRowTile) {
+            const std::int64_t r1 = std::min(rows, r0 + kRowTile);
+            for (std::int64_t r = r0; r < r1; ++r) {
+              const std::int8_t* a = cols.row(b, r);
+              for (std::int64_t f = f0; f < f1; ++f) {
+                const std::int8_t* wrow = wts.row(f);
+                // k_padded is a multiple of kKTile (16), so the 4-wide
+                // unroll never needs a tail; integer sums reassociate
+                // freely without changing the result.
+                Acc s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+                for (std::int64_t p = 0; p < kp; p += 4) {
+                  s0 += static_cast<Acc>(a[p]) * wrow[p];
+                  s1 += static_cast<Acc>(a[p + 1]) * wrow[p + 1];
+                  s2 += static_cast<Acc>(a[p + 2]) * wrow[p + 2];
+                  s3 += static_cast<Acc>(a[p + 3]) * wrow[p + 3];
+                }
+                out[(b * oc + f) * rows + r] = ((s0 + s1) + (s2 + s3))
+                                               << shift;
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+// Convenience: fresh int32 accumulators shaped [N, OC, OH, OW].
+tensor::TensorI32 gemm_conv_i8(const PackedIm2col& cols,
+                               const PackedWeights& wts, int shift = 0);
+
+// Float GEMM, bit-identical to tensor::conv2d_direct: per output, one
+// accumulator seeded with the bias, products added in im2col order.
+// `out` must be preshaped [N, OC, OH, OW].
+void gemm_conv_f32(const PackedIm2colF& cols, const PackedWeightsF& wts,
+                   const tensor::Tensor& bias, tensor::Tensor& out);
+
+// Pack + float GEMM in one call: drop-in for tensor::conv2d_direct on the
+// DRQ / static fake-quantized hot paths (the direct path remains the test
+// oracle). input [N,C,H,W], weight [O,C,KH,KW], bias [O] (may be empty).
+tensor::Tensor conv2d_f32(const tensor::Tensor& input,
+                          const tensor::Tensor& weight,
+                          const tensor::Tensor& bias, std::int64_t stride,
+                          std::int64_t pad);
+
+}  // namespace odq::gemm

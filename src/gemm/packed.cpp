@@ -1,0 +1,228 @@
+#include "gemm/packed.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace odq::gemm {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TensorI8;
+
+namespace {
+
+struct ConvGeometry {
+  std::int64_t n, c, h, w, oh, ow, k;
+};
+
+ConvGeometry check_geometry(const Shape& s, std::int64_t kh, std::int64_t kw,
+                            std::int64_t stride, std::int64_t pad) {
+  if (s.rank() != 4) {
+    throw std::invalid_argument("gemm::pack_im2col: input must be NCHW");
+  }
+  ConvGeometry g;
+  g.n = s[0];
+  g.c = s[1];
+  g.h = s[2];
+  g.w = s[3];
+  g.oh = tensor::conv_out_dim(g.h, kh, stride, pad);
+  g.ow = tensor::conv_out_dim(g.w, kw, stride, pad);
+  if (g.oh <= 0 || g.ow <= 0) {
+    throw std::invalid_argument(
+        "gemm::pack_im2col: kernel larger than padded input");
+  }
+  g.k = g.c * kh * kw;
+  return g;
+}
+
+template <typename T>
+void init_packed(PackedIm2colT<T>& p, const ConvGeometry& g) {
+  p.batches = g.n;
+  p.rows = g.oh * g.ow;
+  p.k = g.k;
+  p.k_padded = pad_k(g.k);
+  p.oh = g.oh;
+  p.ow = g.ow;
+  p.data.assign(static_cast<std::size_t>(g.n * p.rows * p.k_padded), T{});
+}
+
+// Shared row walker: for each packed row (one output pixel), visit the
+// receptive field in im2col order (ic, ki, kj) and call emit(p, value) for
+// in-bounds taps; out-of-bounds and depth-padding entries stay zero from
+// init_packed. Tiled over (batch, output-row blocks): every tile writes a
+// disjoint slice of rows, so results are identical at any pool size.
+template <typename Src, typename Emit>
+void walk_rows(const ConvGeometry& g, std::int64_t kh, std::int64_t kw,
+               std::int64_t stride, std::int64_t pad, std::int64_t rows,
+               const Src* src, const Emit& emit) {
+  const std::int64_t row_blocks = (rows + kRowTile - 1) / kRowTile;
+  util::parallel_for(
+      g.n * row_blocks,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t b = t / row_blocks;
+          const std::int64_t r0 = (t % row_blocks) * kRowTile;
+          const std::int64_t r1 = std::min(rows, r0 + kRowTile);
+          const Src* img = src + b * g.c * g.h * g.w;
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const std::int64_t oy = r / g.ow;
+            const std::int64_t ox = r % g.ow;
+            const std::int64_t iy0 = oy * stride - pad;
+            const std::int64_t ix0 = ox * stride - pad;
+            std::int64_t p = 0;
+            for (std::int64_t ic = 0; ic < g.c; ++ic) {
+              const Src* plane = img + ic * g.h * g.w;
+              for (std::int64_t ki = 0; ki < kh; ++ki) {
+                const std::int64_t iy = iy0 + ki;
+                if (iy < 0 || iy >= g.h) {
+                  p += kw;
+                  continue;
+                }
+                const Src* line = plane + iy * g.w;
+                for (std::int64_t kj = 0; kj < kw; ++kj, ++p) {
+                  const std::int64_t ix = ix0 + kj;
+                  if (ix >= 0 && ix < g.w) emit(b, r, p, line[ix]);
+                }
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace
+
+PackedIm2col pack_im2col_i8(const TensorI8& input, std::int64_t kh,
+                            std::int64_t kw, std::int64_t stride,
+                            std::int64_t pad) {
+  const ConvGeometry g = check_geometry(input.shape(), kh, kw, stride, pad);
+  PackedIm2col out;
+  init_packed(out, g);
+  const std::int64_t kp = out.k_padded;
+  std::int8_t* dst = out.data.data();
+  walk_rows(g, kh, kw, stride, pad, out.rows, input.data(),
+            [&](std::int64_t b, std::int64_t r, std::int64_t p,
+                std::int8_t v) { dst[(b * out.rows + r) * kp + p] = v; });
+  return out;
+}
+
+PackedSplitIm2col pack_im2col_split(const TensorI8& input, int low_bits,
+                                    std::int64_t kh, std::int64_t kw,
+                                    std::int64_t stride, std::int64_t pad) {
+  const ConvGeometry g = check_geometry(input.shape(), kh, kw, stride, pad);
+  PackedSplitIm2col out;
+  out.low_bits = low_bits;
+  init_packed(out.high, g);
+  init_packed(out.low, g);
+  const std::int64_t kp = out.high.k_padded;
+  std::int8_t* hi = out.high.data.data();
+  std::int8_t* lo = out.low.data.data();
+  walk_rows(g, kh, kw, stride, pad, out.high.rows, input.data(),
+            [&](std::int64_t b, std::int64_t r, std::int64_t p,
+                std::int8_t v) {
+              const std::int64_t at = (b * out.high.rows + r) * kp + p;
+              hi[at] = quant::high_part(v, low_bits);
+              lo[at] = quant::low_part(v, low_bits);
+            });
+  return out;
+}
+
+PackedIm2colF pack_im2col_f32(const Tensor& input, std::int64_t kh,
+                              std::int64_t kw, std::int64_t stride,
+                              std::int64_t pad) {
+  const ConvGeometry g = check_geometry(input.shape(), kh, kw, stride, pad);
+  PackedIm2colF out;
+  init_packed(out, g);
+  const std::int64_t kp = out.k_padded;
+  float* dst = out.data.data();
+  walk_rows(g, kh, kw, stride, pad, out.rows, input.data(),
+            [&](std::int64_t b, std::int64_t r, std::int64_t p, float v) {
+              dst[(b * out.rows + r) * kp + p] = v;
+            });
+  return out;
+}
+
+namespace {
+
+template <typename T, typename Src, typename Emit>
+PackedWeightsT<T> pack_weights_impl(const Shape& ws, const Src* src,
+                                    const Emit& emit) {
+  if (ws.rank() != 4) {
+    throw std::invalid_argument("gemm::pack_weights: weight must be OIHW");
+  }
+  PackedWeightsT<T> out;
+  out.oc = ws[0];
+  out.k = ws[1] * ws[2] * ws[3];
+  out.k_padded = pad_k(out.k);
+  out.data.assign(static_cast<std::size_t>(out.oc * out.k_padded), T{});
+  for (std::int64_t f = 0; f < out.oc; ++f) {
+    for (std::int64_t p = 0; p < out.k; ++p) {
+      emit(out.row(f), p, src[f * out.k + p]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PackedWeights pack_weights_i8(const TensorI8& weight) {
+  return pack_weights_impl<std::int8_t>(
+      weight.shape(), weight.data(),
+      [](std::int8_t* row, std::int64_t p, std::int8_t v) { row[p] = v; });
+}
+
+PackedSplitWeights pack_weights_split(const TensorI8& weight, int low_bits) {
+  PackedSplitWeights out;
+  out.low_bits = low_bits;
+  out.high = pack_weights_impl<std::int8_t>(
+      weight.shape(), weight.data(),
+      [low_bits](std::int8_t* row, std::int64_t p, std::int8_t v) {
+        row[p] = quant::high_part(v, low_bits);
+      });
+  out.low = pack_weights_impl<std::int8_t>(
+      weight.shape(), weight.data(),
+      [low_bits](std::int8_t* row, std::int64_t p, std::int8_t v) {
+        row[p] = quant::low_part(v, low_bits);
+      });
+  return out;
+}
+
+PackedWeightsF pack_weights_f32(const Tensor& weight) {
+  return pack_weights_impl<float>(
+      weight.shape(), weight.data(),
+      [](float* row, std::int64_t p, float v) { row[p] = v; });
+}
+
+TensorI8 unpack_im2col_i8(const PackedIm2col& packed, std::int64_t c,
+                          std::int64_t kh, std::int64_t kw) {
+  if (c * kh * kw != packed.k) {
+    throw std::invalid_argument("gemm::unpack_im2col: c*kh*kw != k");
+  }
+  TensorI8 out(Shape{packed.batches, packed.k, packed.rows});
+  for (std::int64_t b = 0; b < packed.batches; ++b) {
+    for (std::int64_t r = 0; r < packed.rows; ++r) {
+      const std::int8_t* row = packed.row(b, r);
+      for (std::int64_t p = 0; p < packed.k; ++p) {
+        out[(b * packed.k + p) * packed.rows + r] = row[p];
+      }
+    }
+  }
+  return out;
+}
+
+TensorI8 unpack_im2col_split(const PackedSplitIm2col& packed, std::int64_t c,
+                             std::int64_t kh, std::int64_t kw) {
+  TensorI8 hi = unpack_im2col_i8(packed.high, c, kh, kw);
+  TensorI8 lo = unpack_im2col_i8(packed.low, c, kh, kw);
+  TensorI8 out(hi.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = static_cast<std::int8_t>(
+        quant::recompose(hi[i], lo[i], packed.low_bits));
+  }
+  return out;
+}
+
+}  // namespace odq::gemm

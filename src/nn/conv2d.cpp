@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nn/epilogue.hpp"
 #include "tensor/ops.hpp"
 
 namespace odq::nn {
@@ -81,13 +82,11 @@ Tensor Conv2d::forward_fp32(const Tensor& x, bool train) {
               out.data() + b * out_channels_ * oh * ow);
   }
   if (has_bias_) {
-    for (std::int64_t b = 0; b < n; ++b) {
-      for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
-        float* p = out.data() + (b * out_channels_ + oc) * oh * ow;
-        const float bv = bias_.value[oc];
-        for (std::int64_t i = 0; i < oh * ow; ++i) p[i] += bv;
-      }
-    }
+    // Shared conv epilogue (nn/epilogue.hpp): the bias-only case is the
+    // exact `p[i] += bias[oc]` loop this file used to duplicate.
+    ConvEpilogue e;
+    e.bias = bias_.value;
+    apply_conv_epilogue(out, e);
   }
 
   if (train) {

@@ -1,5 +1,7 @@
 #include "quant/quantizer.hpp"
 
+#include "gemm/gemm.hpp"
+#include "gemm/packed.hpp"
 #include "tensor/ops.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -378,39 +380,13 @@ TensorI32 conv2d_i8_fast(const TensorI8& input, const TensorI8& weight,
   if (is.rank() != 4 || ws.rank() != 4 || is[1] != ws[1]) {
     throw std::invalid_argument("conv2d_i8_fast: bad shapes");
   }
-  const std::int64_t n = is[0];
-  const std::int64_t o = ws[0], kh = ws[2], kw = ws[3];
-  const std::int64_t ckk = ws[1] * kh * kw;
-  const std::int64_t oh = tensor::conv_out_dim(is[2], kh, stride, pad);
-  const std::int64_t ow = tensor::conv_out_dim(is[3], kw, stride, pad);
-  const std::int64_t ohw = oh * ow;
-
-  TensorI8 cols = im2col_i8(input, kh, kw, stride, pad);
-  TensorI32 out(Shape{n, o, oh, ow});
-  // Integer GEMM tiled over (batch, out-channel) planes. Each tile owns one
-  // output plane, so the accumulators are bit-identical at any pool size.
-  util::parallel_for(
-      n * o,
-      [&](std::int64_t t0, std::int64_t t1) {
-        for (std::int64_t t = t0; t < t1; ++t) {
-          const std::int64_t b = t / o;
-          const std::int64_t oc = t % o;
-          const std::int8_t* col = cols.data() + b * ckk * ohw;
-          const std::int8_t* wrow = weight.data() + oc * ckk;
-          std::int32_t* orow = out.data() + t * ohw;
-          std::fill(orow, orow + ohw, 0);
-          for (std::int64_t p = 0; p < ckk; ++p) {
-            const std::int32_t wv = wrow[p];
-            if (wv == 0) continue;
-            const std::int8_t* crow = col + p * ohw;
-            for (std::int64_t j = 0; j < ohw; ++j) {
-              orow[j] += wv * static_cast<std::int32_t>(crow[j]);
-            }
-          }
-        }
-      },
-      /*grain=*/1);
-  return out;
+  // Pack into the shared cache-blocked layout, then run the tiled INT-GEMM
+  // microkernel. Integer accumulation is order-independent, so the result
+  // stays bit-identical to conv2d_i8 at any tiling and pool size.
+  gemm::PackedIm2col cols =
+      gemm::pack_im2col_i8(input, ws[2], ws[3], stride, pad);
+  gemm::PackedWeights wts = gemm::pack_weights_i8(weight);
+  return gemm::gemm_conv_i8(cols, wts, /*shift=*/0);
 }
 
 }  // namespace odq::quant

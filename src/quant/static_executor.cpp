@@ -1,5 +1,6 @@
 #include "quant/static_executor.hpp"
 
+#include "gemm/gemm.hpp"
 #include "obs/fidelity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -19,15 +20,16 @@ tensor::Tensor StaticQuantConvExecutor::run(const tensor::Tensor& input,
     static obs::Counter& calls = obs::counter("static_quant.conv.calls");
     calls.increment();
   }
-  // Both the fake-quantize passes and conv2d_direct run tiled on the global
-  // thread pool, so this baseline is benchmarked on the same footing as the
-  // parallel ODQ and DRQ executors.
+  // Both the fake-quantize passes and the packed float GEMM run tiled on
+  // the global thread pool, so this baseline is benchmarked on the same
+  // footing as the parallel ODQ and DRQ executors. gemm::conv2d_f32 is
+  // bit-identical to the conv2d_direct oracle (tests/gemm pins this).
   tensor::Tensor qin = fake_quantize_activations(input, bits_);
   tensor::Tensor qw =
       per_channel_
           ? fake_quantize_weights_per_channel(weight, bits_, transform_)
           : fake_quantize_weights(weight, bits_, transform_);
-  tensor::Tensor out = tensor::conv2d_direct(qin, qw, bias, stride, pad);
+  tensor::Tensor out = gemm::conv2d_f32(qin, qw, bias, stride, pad);
   if (obs::fidelity_enabled()) {
     const tensor::Tensor ref =
         tensor::conv2d_direct(input, weight, bias, stride, pad);

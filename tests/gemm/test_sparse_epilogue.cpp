@@ -1,0 +1,189 @@
+// Golden regression for the mask-aware sparse epilogue: the compacted
+// per-tile sensitive-index lists must agree exactly with every other view
+// of sensitivity the library exposes — the bit mask, the per-channel
+// counters, and the per-layer `sensitive` counter OdqConvExecutor's
+// layer_stats() accumulates (the number odq_profile reports).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/proptest.hpp"
+#include "core/odq.hpp"
+#include "gemm/sparse_epilogue.hpp"
+#include "tensor/ops.hpp"
+
+namespace odq::gemm {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testprop::ConvGeom;
+
+core::OdqConvResult random_odq_result(testprop::Case& c, ConvGeom& g,
+                                      core::OdqConfig& cfg) {
+  g = testprop::random_conv_geom(c.rng());
+  const testprop::Precision p = testprop::random_precision(c.rng());
+  const testprop::QuantConvCase qc =
+      testprop::random_quant_conv(c.rng(), g, p.total_bits);
+  cfg = core::OdqConfig{};
+  cfg.total_bits = p.total_bits;
+  cfg.low_bits = p.low_bits;
+  cfg.threshold = testprop::random_threshold(c.rng());
+  return core::odq_conv(qc.input, qc.weight, g.stride, g.pad, cfg);
+}
+
+// Lists vs mask: each (batch, channel) tile's list must be exactly the
+// ascending positions of the mask bits in that plane.
+TEST(SparseEpilogueGolden, ListsAreExactlyTheMaskPositions) {
+  for (int i = 0; i < 25; ++i) {
+    ODQ_PROP_CASE(c, i);
+    ConvGeom g;
+    core::OdqConfig cfg;
+    const core::OdqConvResult r = random_odq_result(c, g, cfg);
+    SCOPED_TRACE(g.str() + " thr=" + std::to_string(cfg.threshold));
+
+    const SensitiveLists& sl = r.sensitive_lists;
+    ASSERT_EQ(sl.batches, r.mask.shape()[0]);
+    ASSERT_EQ(sl.channels, r.mask.shape()[1]);
+    ASSERT_EQ(sl.rows, r.mask.shape()[2] * r.mask.shape()[3]);
+    ASSERT_EQ(static_cast<std::int64_t>(sl.lists.size()),
+              sl.batches * sl.channels);
+    for (std::int64_t b = 0; b < sl.batches; ++b) {
+      for (std::int64_t ch = 0; ch < sl.channels; ++ch) {
+        std::vector<std::int32_t> expect;
+        const std::uint8_t* m =
+            r.mask.data() + (b * sl.channels + ch) * sl.rows;
+        for (std::int64_t p = 0; p < sl.rows; ++p) {
+          if (m[p] != 0) expect.push_back(static_cast<std::int32_t>(p));
+        }
+        ASSERT_EQ(sl.tile(b, ch), expect)
+            << "tile (" << b << ", " << ch << ")";
+      }
+    }
+  }
+}
+
+// Lists vs counters: total() == stats.sensitive, and per-channel list sizes
+// (summed over batch) == sensitive_per_channel.
+TEST(SparseEpilogueGolden, ListTotalsMatchLayerCounters) {
+  for (int i = 0; i < 25; ++i) {
+    ODQ_PROP_CASE(c, i + 100);
+    ConvGeom g;
+    core::OdqConfig cfg;
+    const core::OdqConvResult r = random_odq_result(c, g, cfg);
+    SCOPED_TRACE(g.str() + " thr=" + std::to_string(cfg.threshold));
+
+    const SensitiveLists& sl = r.sensitive_lists;
+    ASSERT_EQ(sl.total(), r.stats.sensitive);
+    std::int64_t mask_pop = 0;
+    for (std::int64_t j = 0; j < r.mask.numel(); ++j) mask_pop += r.mask[j];
+    ASSERT_EQ(mask_pop, r.stats.sensitive);
+
+    ASSERT_EQ(static_cast<std::int64_t>(r.sensitive_per_channel.size()),
+              sl.channels);
+    for (std::int64_t ch = 0; ch < sl.channels; ++ch) {
+      std::int64_t n = 0;
+      for (std::int64_t b = 0; b < sl.batches; ++b) {
+        n += static_cast<std::int64_t>(sl.tile(b, ch).size());
+      }
+      ASSERT_EQ(n, r.sensitive_per_channel[static_cast<std::size_t>(ch)])
+          << "channel " << ch;
+    }
+  }
+}
+
+// Lists vs the executor: the per-layer `sensitive` counter layer_stats()
+// reports (what odq_profile prints) must equal the compacted list total of
+// the same conv run through the core API — same quantization helpers, same
+// deterministic pipeline.
+TEST(SparseEpilogueGolden, ExecutorLayerStatsMatchCompactedLists) {
+  for (int i = 0; i < 10; ++i) {
+    ODQ_PROP_CASE(c, i + 200);
+    const ConvGeom g = testprop::random_conv_geom(c.rng());
+    const Tensor x =
+        testprop::random_activations(c.rng(), Shape{g.n, g.c, g.h, g.w});
+    const Tensor w =
+        testprop::random_weights(c.rng(), Shape{g.oc, g.c, g.k, g.k});
+    const Tensor bias = testprop::random_weights(c.rng(), Shape{g.oc});
+
+    core::OdqConfig cfg;
+    cfg.threshold = testprop::random_threshold(c.rng());
+    core::OdqConvExecutor exec(cfg);
+    (void)exec.run(x, w, bias, g.stride, g.pad, /*conv_id=*/0);
+    const core::OdqLayerStats ls = exec.layer_stats(0);
+
+    const quant::QTensor qin = quant::quantize_activations(x, cfg.total_bits);
+    const quant::QTensor qw =
+        quant::quantize_weights(w, cfg.total_bits, cfg.weight_transform);
+    const core::OdqConvResult r =
+        core::odq_conv(qin, qw, g.stride, g.pad, cfg);
+
+    SCOPED_TRACE(g.str() + " thr=" + std::to_string(cfg.threshold));
+    ASSERT_EQ(ls.calls, 1);
+    ASSERT_EQ(ls.sensitive, r.sensitive_lists.total());
+    ASSERT_EQ(ls.outputs, r.stats.outputs);
+    ASSERT_EQ(ls.executor_macs, r.stats.executor_macs);
+    ASSERT_EQ(exec.last_sensitive_per_channel(0), r.sensitive_per_channel);
+    // The packed pipeline populated the phase breakdown odq_profile prints.
+    EXPECT_GE(ls.pack_seconds, 0.0);
+    EXPECT_GE(ls.gemm_seconds, 0.0);
+    EXPECT_GE(ls.sparse_epilogue_seconds, 0.0);
+  }
+}
+
+// Analytic MAC accounting vs a brute-force walk of the direct conv's
+// in-bounds taps.
+TEST(SparseEpilogueGolden, ValidMacsPerRowMatchesBruteForce) {
+  for (int i = 0; i < 20; ++i) {
+    ODQ_PROP_CASE(c, i + 300);
+    const ConvGeom g = testprop::random_conv_geom(c.rng());
+    const std::int64_t oh = tensor::conv_out_dim(g.h, g.k, g.stride, g.pad);
+    const std::int64_t ow = tensor::conv_out_dim(g.w, g.k, g.stride, g.pad);
+    const ConvShape shape{g.c, g.h, g.w, g.k, g.k, g.stride, g.pad};
+    const std::vector<std::int64_t> analytic =
+        valid_macs_per_row(shape, oh, ow);
+    ASSERT_EQ(static_cast<std::int64_t>(analytic.size()), oh * ow);
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int64_t macs = 0;
+        for (std::int64_t ki = 0; ki < g.k; ++ki) {
+          const std::int64_t iy = oy * g.stride - g.pad + ki;
+          if (iy < 0 || iy >= g.h) continue;
+          for (std::int64_t kj = 0; kj < g.k; ++kj) {
+            const std::int64_t ix = ox * g.stride - g.pad + kj;
+            if (ix < 0 || ix >= g.w) continue;
+            macs += g.c;
+          }
+        }
+        ASSERT_EQ(analytic[static_cast<std::size_t>(oy * ow + ox)], macs)
+            << g.str() << " oy=" << oy << " ox=" << ox;
+      }
+    }
+  }
+}
+
+TEST(SparseEpilogueGolden, ThresholdExtremesShapeTheLists) {
+  ODQ_PROP_CASE(c, 999);
+  const ConvGeom g = testprop::random_conv_geom(c.rng());
+  const testprop::QuantConvCase qc = testprop::random_quant_conv(c.rng(), g);
+
+  core::OdqConfig all;
+  all.threshold = 0.0f;
+  const core::OdqConvResult r_all =
+      core::odq_conv(qc.input, qc.weight, g.stride, g.pad, all);
+  ASSERT_EQ(r_all.sensitive_lists.total(), r_all.stats.outputs);
+  for (const auto& l : r_all.sensitive_lists.lists) {
+    ASSERT_EQ(static_cast<std::int64_t>(l.size()), r_all.sensitive_lists.rows);
+  }
+
+  core::OdqConfig none;
+  none.threshold = 1e30f;
+  const core::OdqConvResult r_none =
+      core::odq_conv(qc.input, qc.weight, g.stride, g.pad, none);
+  ASSERT_EQ(r_none.sensitive_lists.total(), 0);
+  for (const auto& l : r_none.sensitive_lists.lists) ASSERT_TRUE(l.empty());
+}
+
+}  // namespace
+}  // namespace odq::gemm
