@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace odq::obs {
@@ -73,7 +74,17 @@ void Counter::reset() {
 
 void Gauge::reset() {
   value_.store(0.0, std::memory_order_relaxed);
+  watermark_.store(0.0, std::memory_order_relaxed);
   written_.store(false, std::memory_order_relaxed);
+}
+
+double Gauge::take_watermark() {
+  const double peak = watermark_.load(std::memory_order_relaxed);
+  // Re-arm at the current level; a concurrent note_watermark() of a higher
+  // value can only push it back up, never lose a peak after this point.
+  watermark_.store(value_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return peak;
 }
 
 Distribution::Shard& Distribution::shard() {
@@ -200,6 +211,7 @@ std::vector<MetricValue> metrics_snapshot() {
       v.name = name;
       v.kind = MetricValue::Kind::kGauge;
       v.value = g->value();
+      v.max = g->take_watermark();
       out.push_back(std::move(v));
     }
     for (const auto& [name, d] : r.distributions) {
@@ -215,6 +227,15 @@ std::vector<MetricValue> metrics_snapshot() {
       v.sum = s.sum();
       out.push_back(std::move(v));
     }
+  }
+  {
+    // Synthetic mirror of the trace buffer saturation counter (see header
+    // comment): silent span loss must not look like a fast request.
+    MetricValue v;
+    v.name = "trace.dropped_events";
+    v.kind = MetricValue::Kind::kCounter;
+    v.count = static_cast<std::int64_t>(trace_dropped_events());
+    out.push_back(std::move(v));
   }
   std::sort(out.begin(), out.end(),
             [](const MetricValue& a, const MetricValue& b) {
@@ -244,6 +265,7 @@ void metrics_to_json(util::JsonWriter& w) {
       case MetricValue::Kind::kGauge:
         w.kv("type", "gauge");
         w.kv("value", m.value);
+        w.kv("max_watermark", m.max);
         break;
       case MetricValue::Kind::kDistribution:
         w.kv("type", "distribution");

@@ -77,6 +77,7 @@ class Gauge {
     if (!metrics_enabled()) return;
     value_.store(v, std::memory_order_relaxed);
     written_.store(true, std::memory_order_relaxed);
+    note_watermark(v);
   }
 
   // Atomic increment/decrement, for level gauges (queue depth, in-flight
@@ -84,18 +85,40 @@ class Gauge {
   // lock — last-write-wins set() would lose updates there.
   void add(double delta) {
     if (!metrics_enabled()) return;
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    const double prev = value_.fetch_add(delta, std::memory_order_relaxed);
     written_.store(true, std::memory_order_relaxed);
+    note_watermark(prev + delta);
   }
 
   const std::string& name() const { return name_; }
   double value() const { return value_.load(std::memory_order_relaxed); }
   bool written() const { return written_.load(std::memory_order_relaxed); }
+
+  // Highest value the gauge reached since the last take_watermark()/reset()
+  // (for level gauges: the true peak — each add() notes the level it
+  // produced, so concurrent +1/-1 traffic cannot hide a spike between two
+  // snapshot reads).
+  double max_watermark() const {
+    return watermark_.load(std::memory_order_relaxed);
+  }
+
+  // Read the watermark and re-arm it at the current value, so the next
+  // snapshot window reports peaks since this one ("reset-on-snapshot").
+  double take_watermark();
+
   void reset();
 
  private:
+  void note_watermark(double v) {
+    double cur = watermark_.load(std::memory_order_relaxed);
+    while (v > cur && !watermark_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
   std::string name_;
   std::atomic<double> value_{0.0};
+  std::atomic<double> watermark_{0.0};
   std::atomic<bool> written_{false};
 };
 
@@ -144,10 +167,16 @@ struct MetricValue {
   Kind kind = Kind::kCounter;
   std::int64_t count = 0;  // counter total or distribution sample count
   double value = 0.0;      // gauge value or distribution mean
-  double min = 0.0, max = 0.0, stddev = 0.0, sum = 0.0;  // distributions
+  // Distribution extrema/moments; for gauges, max carries the high
+  // watermark observed since the previous snapshot (taking a snapshot
+  // re-arms it at the current value).
+  double min = 0.0, max = 0.0, stddev = 0.0, sum = 0.0;
 };
 
-// Deterministic snapshot: metrics sorted by name, shards merged.
+// Deterministic snapshot: metrics sorted by name, shards merged. Always
+// includes a synthetic "trace.dropped_events" counter mirroring
+// trace_dropped_events(), so span loss from ODQ_TRACE_MAX_EVENTS
+// saturation is visible wherever metrics are, not only in the trace file.
 std::vector<MetricValue> metrics_snapshot();
 
 // Zero every registered metric (handles stay valid). Test/tool helper.

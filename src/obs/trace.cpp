@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string_view>
 
 #include "util/json.hpp"
 
@@ -102,7 +103,36 @@ EventBuffer& thread_buffer() {
   return *buf;
 }
 
+// Active request id for this thread; -1 outside any TraceRequestScope.
+thread_local std::int64_t t_req_id = -1;
+
+// Attach "req_id" to the event's first free argument slot when a request
+// scope is active. An explicit req_id argument wins (no duplicate key).
+void attach_request_id(TraceEvent& ev) {
+  if (t_req_id < 0) return;
+  constexpr const char* kReqIdKey = "req_id";
+  auto is_req_id = [](const char* n) {
+    return n != nullptr && std::string_view(n) == "req_id";
+  };
+  if (is_req_id(ev.arg_name) || is_req_id(ev.arg2_name)) return;
+  if (ev.arg_name == nullptr) {
+    ev.arg_name = kReqIdKey;
+    ev.arg_value = t_req_id;
+  } else if (ev.arg2_name == nullptr) {
+    ev.arg2_name = kReqIdKey;
+    ev.arg2_value = t_req_id;
+  }
+}
+
 }  // namespace
+
+std::int64_t trace_request_id() { return t_req_id; }
+
+TraceRequestScope::TraceRequestScope(std::int64_t req_id) : prev_(t_req_id) {
+  t_req_id = req_id;
+}
+
+TraceRequestScope::~TraceRequestScope() { t_req_id = prev_; }
 
 bool trace_enabled() {
   int v = g_trace_enabled.load(std::memory_order_relaxed);
@@ -153,7 +183,8 @@ double trace_now_us() {
 std::uint32_t trace_thread_id() { return thread_buffer().tid; }
 
 void trace_record(std::string name, double ts_us, double dur_us,
-                  const char* arg_name, std::int64_t arg_value) {
+                  const char* arg_name, std::int64_t arg_value,
+                  const char* arg2_name, std::int64_t arg2_value) {
   if (!trace_enabled()) return;
   EventBuffer& buf = thread_buffer();
   TraceEvent ev;
@@ -163,6 +194,9 @@ void trace_record(std::string name, double ts_us, double dur_us,
   ev.tid = buf.tid;
   ev.arg_name = arg_name;
   ev.arg_value = arg_value;
+  ev.arg2_name = arg2_name;
+  ev.arg2_value = arg2_value;
+  attach_request_id(ev);
   std::lock_guard<std::mutex> lock(buf.mutex);
   if (buf.events.size() >= trace_max_events()) {
     g_dropped_events.fetch_add(1, std::memory_order_relaxed);
@@ -195,6 +229,9 @@ void TraceSpan::end() {
   ev.tid = buf.tid;
   ev.arg_name = arg_name_;
   ev.arg_value = arg_value_;
+  ev.arg2_name = arg2_name_;
+  ev.arg2_value = arg2_value_;
+  attach_request_id(ev);
   std::lock_guard<std::mutex> lock(buf.mutex);
   if (buf.events.size() >= trace_max_events()) {
     g_dropped_events.fetch_add(1, std::memory_order_relaxed);
@@ -240,10 +277,11 @@ std::string trace_to_json() {
     w.kv("dur", ev.dur_us);
     w.kv("pid", std::int64_t{1});
     w.kv("tid", static_cast<std::int64_t>(ev.tid));
-    if (ev.arg_name != nullptr) {
+    if (ev.arg_name != nullptr || ev.arg2_name != nullptr) {
       w.key("args");
       w.begin_object();
-      w.kv(ev.arg_name, ev.arg_value);
+      if (ev.arg_name != nullptr) w.kv(ev.arg_name, ev.arg_value);
+      if (ev.arg2_name != nullptr) w.kv(ev.arg2_name, ev.arg2_value);
       w.end_object();
     }
     w.end_object();

@@ -53,10 +53,12 @@ struct TraceEvent {
   double ts_us = 0.0;   // start, microseconds since trace epoch
   double dur_us = 0.0;  // duration, microseconds
   std::uint32_t tid = 0;  // compact per-process thread id
-  // Optional numeric argument (emitted under "args"); arg_name == nullptr
-  // means no argument. Must point at a string literal.
+  // Up to two optional numeric arguments (emitted under "args"); a null
+  // name means the slot is unused. Names must point at string literals.
   const char* arg_name = nullptr;
   std::int64_t arg_value = 0;
+  const char* arg2_name = nullptr;
+  std::int64_t arg2_value = 0;
 };
 
 // Microseconds since the trace epoch on the shared steady clock.
@@ -66,9 +68,34 @@ double trace_now_us();
 std::uint32_t trace_thread_id();
 
 // Append a finished span to the calling thread's buffer. No-op when
-// tracing is disabled. `name` is copied.
+// tracing is disabled. `name` is copied. If a TraceRequestScope is active
+// on the calling thread and an argument slot is free, a "req_id" argument
+// is attached automatically.
 void trace_record(std::string name, double ts_us, double dur_us,
-                  const char* arg_name = nullptr, std::int64_t arg_value = 0);
+                  const char* arg_name = nullptr, std::int64_t arg_value = 0,
+                  const char* arg2_name = nullptr,
+                  std::int64_t arg2_value = 0);
+
+// Request id attached to spans recorded on the calling thread, or -1 when
+// no TraceRequestScope is active.
+std::int64_t trace_request_id();
+
+// Tags every span that *ends* on the calling thread while the scope is
+// alive with a "req_id" argument (into the first free slot), linking a
+// request's queue/batch/exec/conv-phase spans in the Chrome trace. Scopes
+// nest: the previous id is restored on destruction. The serving engine
+// opens one around each per-request session run.
+class TraceRequestScope {
+ public:
+  explicit TraceRequestScope(std::int64_t req_id);
+  ~TraceRequestScope();
+
+  TraceRequestScope(const TraceRequestScope&) = delete;
+  TraceRequestScope& operator=(const TraceRequestScope&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
 
 // RAII span: measures construction->destruction and records it.
 class TraceSpan {
@@ -86,11 +113,17 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
-  // Attach one numeric argument shown in the trace viewer. `key` must be a
-  // string literal (stored by pointer).
+  // Attach a numeric argument shown in the trace viewer; fills the first
+  // free of the two slots (re-using a key overwrites its slot). `key` must
+  // be a string literal (stored by pointer).
   void arg(const char* key, std::int64_t value) {
-    arg_name_ = key;
-    arg_value_ = value;
+    if (arg_name_ == nullptr || arg_name_ == key) {
+      arg_name_ = key;
+      arg_value_ = value;
+    } else {
+      arg2_name_ = key;
+      arg2_value_ = value;
+    }
   }
 
  private:
@@ -103,6 +136,8 @@ class TraceSpan {
   double start_us_ = 0.0;
   const char* arg_name_ = nullptr;
   std::int64_t arg_value_ = 0;
+  const char* arg2_name_ = nullptr;
+  std::int64_t arg2_value_ = 0;
 };
 
 #define ODQ_TRACE_CONCAT_(a, b) a##b

@@ -1,11 +1,13 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
@@ -32,6 +34,29 @@ struct ServeMetrics {
 ServeMetrics& serve_metrics() {
   static ServeMetrics m;
   return m;
+}
+
+// Windowed live telemetry (obs/telemetry.hpp); separate from ServeMetrics
+// so ODQ_METRICS and ODQ_TELEMETRY stay independently switchable.
+struct ServeTelemetry {
+  obs::WindowedSeries& latency_us = obs::telemetry_series("serve.latency_us");
+  obs::WindowedSeries& batch_size = obs::telemetry_series("serve.batch_size");
+  obs::WindowedSeries& in_flight = obs::telemetry_series("serve.in_flight");
+  obs::WindowedCounter& requests = obs::telemetry_counter("serve.requests");
+  obs::WindowedCounter& errors = obs::telemetry_counter("serve.errors");
+  obs::WindowedCounter& batches = obs::telemetry_counter("serve.batches");
+  obs::WindowedCounter& rejected = obs::telemetry_counter("serve.rejected");
+  obs::WindowedCounter& slo_violations =
+      obs::telemetry_counter("serve.slo_violations");
+};
+
+ServeTelemetry& serve_telemetry() {
+  static ServeTelemetry t;
+  return t;
+}
+
+std::uint64_t clamp_u64(double v) {
+  return v > 0.0 ? static_cast<std::uint64_t>(v) : 0;
 }
 
 }  // namespace
@@ -82,6 +107,7 @@ StatusOr<std::future<InferResponse>> ServeEngine::try_submit(
 StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
     tensor::Tensor input, bool blocking) {
   auto reject = [&](Status s) -> StatusOr<std::future<InferResponse>> {
+    serve_telemetry().rejected.increment();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.rejected;
     return s;
@@ -104,6 +130,9 @@ StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
 
   serve_metrics().in_flight.add(1.0);
   serve_metrics().requests.increment();
+  serve_telemetry().requests.increment();
+  serve_telemetry().in_flight.record(static_cast<std::uint64_t>(
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1));
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
@@ -113,12 +142,21 @@ StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
 
 void ServeEngine::worker_loop(int worker_id) {
   InferenceSession& session = *sessions_[static_cast<std::size_t>(worker_id)];
+  // Per-scheme latency split, resolved once per worker (registry lookup
+  // takes a lock; the handle is process-lifetime).
+  obs::WindowedSeries& scheme_latency =
+      obs::telemetry_series("serve.latency_us." + session.scheme());
   std::vector<PendingRequest> batch;
   while (queue_.pop_batch(batch, cfg_.max_batch, cfg_.flush_timeout_us)) {
+    const std::uint64_t batch_id =
+        next_batch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
     obs::TraceSpan batch_span("serve.batch");
     batch_span.arg("batch_size", static_cast<std::int64_t>(batch.size()));
+    batch_span.arg("batch_id", static_cast<std::int64_t>(batch_id));
     serve_metrics().batches.increment();
     serve_metrics().batch_size.record(static_cast<double>(batch.size()));
+    serve_telemetry().batches.increment();
+    serve_telemetry().batch_size.record(batch.size());
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.batches;
@@ -150,6 +188,12 @@ void ServeEngine::worker_loop(int worker_id) {
         res.status =
             Status(StatusCode::kUnavailable, "injected serve.batch fault");
       } else {
+        // The request scope tags the exec span and every span the session
+        // run emits underneath it (conv phases: odq.pack/gemm/...) with
+        // this request's id, linking the whole path in the trace.
+        obs::TraceRequestScope req_scope(static_cast<std::int64_t>(req.id));
+        obs::TraceSpan exec_span("serve.exec");
+        exec_span.arg("worker", worker_id);
         try {
           res.output = session.run(req.input);
         } catch (const std::exception& e) {
@@ -160,22 +204,57 @@ void ServeEngine::worker_loop(int worker_id) {
         }
       }
       res.done_us = now_us();
+      const double queue_wait_us = res.start_us - res.enqueue_us;
 
       serve_metrics().in_flight.add(-1.0);
       serve_metrics().latency_us.record(res.latency_us());
       if (!res.status.ok()) serve_metrics().errors.increment();
+      serve_telemetry().in_flight.record(static_cast<std::uint64_t>(std::max(
+          in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1,
+          std::int64_t{0})));
+      serve_telemetry().latency_us.record(clamp_u64(res.latency_us()));
+      scheme_latency.record(clamp_u64(res.latency_us()));
+      if (!res.status.ok()) serve_telemetry().errors.increment();
       if (obs::trace_enabled()) {
-        // Enqueue->complete latency span on the trace timeline, so queue
-        // wait + batching delay + execution show up as one bar per request.
-        obs::trace_record("serve.request",
-                          obs::trace_now_us() - res.latency_us(),
+        // Retrospective spans on the trace timeline, so queue wait +
+        // batching delay + execution show up per request; both carry the
+        // request id explicitly (the scope above has already closed).
+        const double end_ts = obs::trace_now_us();
+        const auto req_id = static_cast<std::int64_t>(req.id);
+        obs::trace_record("serve.request", end_ts - res.latency_us(),
                           res.latency_us(), "batch_size",
-                          static_cast<std::int64_t>(res.batch_size));
+                          static_cast<std::int64_t>(res.batch_size), "req_id",
+                          req_id);
+        obs::trace_record("serve.queue_wait", end_ts - res.latency_us(),
+                          queue_wait_us, "req_id", req_id);
+      }
+      const bool over_slo = cfg_.slo_us > 0 &&
+                            res.latency_us() > static_cast<double>(cfg_.slo_us);
+      if (over_slo) {
+        serve_telemetry().slo_violations.increment();
+        // Exemplar: one full phase breakdown per second, not one per
+        // violation — an overloaded engine must not drown in its own logs.
+        const auto now_s = static_cast<std::int64_t>(res.done_us / 1e6);
+        std::int64_t last = last_slo_log_s_.load(std::memory_order_relaxed);
+        if (now_s != last &&
+            last_slo_log_s_.compare_exchange_strong(
+                last, now_s, std::memory_order_relaxed)) {
+          ODQ_LOG_WARN(
+              "serve: req %llu over SLO (%lld us): latency %.0f us = queue "
+              "%.0f us + exec %.0f us, batch %zu (id %llu), worker %d, "
+              "scheme %s",
+              static_cast<unsigned long long>(req.id),
+              static_cast<long long>(cfg_.slo_us), res.latency_us(),
+              queue_wait_us, res.done_us - res.start_us, res.batch_size,
+              static_cast<unsigned long long>(batch_id), worker_id,
+              session.scheme().c_str());
+        }
       }
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.completed;
         if (!res.status.ok()) ++stats_.errors;
+        if (over_slo) ++stats_.slo_violations;
       }
       req.promise.set_value(std::move(res));
     }

@@ -22,6 +22,8 @@
 //
 // Observability (all off unless ODQ_METRICS / ODQ_TRACE are enabled):
 //   serve.queue_depth        gauge     queue occupancy after each push/pop
+//                                      (snapshot max carries the peak since
+//                                      the previous snapshot)
 //   serve.in_flight          gauge     accepted but unanswered requests
 //   serve.requests           counter   requests accepted
 //   serve.errors             counter   responses with !status.ok()
@@ -30,6 +32,25 @@
 //   serve.latency_us         distribution  enqueue -> response latency
 //   serve.batch / serve.request   trace spans (batch execution, per-request
 //                                 enqueue->complete latency)
+//
+// Live telemetry (off unless ODQ_TELEMETRY is enabled; see
+// obs/telemetry.hpp for window semantics and the exporter):
+//   serve.latency_us             windowed series, enqueue -> response µs
+//   serve.latency_us.<scheme>    same, split per session scheme
+//   serve.batch_size             windowed series, requests per batch
+//   serve.queue_depth            windowed series, depth after push/pop
+//   serve.in_flight              windowed series, level after +-1
+//   serve.requests / serve.errors / serve.batches / serve.rejected /
+//   serve.slo_violations         windowed counters
+//
+// Per-request tracing: every request gets a trace id (its request id,
+// allocated at submit). The worker wraps each session run in a
+// TraceRequestScope, so the serve.exec span and every conv-phase span it
+// encloses carry a req_id argument; retrospective serve.request and
+// serve.queue_wait spans carry the same id, linking the full
+// queue -> batch -> exec -> gemm path in the Chrome trace. When
+// EngineConfig::slo_us is set, over-SLO requests additionally log one
+// rate-limited (1/s) exemplar line with their full phase breakdown.
 //
 // Fault injection (docs/robustness.md):
 //   serve.submit   submit() refuses with kUnavailable before enqueueing
@@ -59,6 +80,9 @@ struct EngineConfig {
   std::size_t max_batch = 8;         // flush a batch at this size...
   std::int64_t flush_timeout_us = 2000;  // ...or this long after the oldest
                                          // request arrived, whichever first
+  std::int64_t slo_us = 0;  // latency SLO; requests over it count as
+                            // violations and emit a rate-limited exemplar
+                            // log (0 disables)
 };
 
 // Aggregate counters, kept engine-side (independent of ODQ_METRICS) so
@@ -71,6 +95,7 @@ struct EngineStats {
   std::uint64_t batches = 0;
   std::uint64_t multi_request_batches = 0;  // batches with more than 1
   std::uint64_t max_batch_observed = 0;
+  std::uint64_t slo_violations = 0;  // responses over EngineConfig::slo_us
   // batch_size_hist[k] = batches that carried exactly k requests
   // (index 0 unused). Sized max_batch + 1.
   std::vector<std::uint64_t> batch_size_hist;
@@ -121,6 +146,9 @@ class ServeEngine {
   std::vector<std::thread> workers_;
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> next_batch_id_{0};
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::int64_t> last_slo_log_s_{-1};  // exemplar rate limiter
   std::atomic<bool> shut_down_{false};
 
   mutable std::mutex stats_mutex_;

@@ -1,6 +1,7 @@
 #include "serve/queue.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace odq::serve {
 
@@ -17,6 +18,17 @@ obs::Gauge& depth_gauge() {
   return g;
 }
 
+// Windowed depth samples for the live exporter, alongside the gauge.
+obs::WindowedSeries& depth_series() {
+  static obs::WindowedSeries& s = obs::telemetry_series("serve.queue_depth");
+  return s;
+}
+
+void note_depth(std::size_t depth) {
+  depth_gauge().set(static_cast<double>(depth));
+  depth_series().record(depth);
+}
+
 }  // namespace
 
 RequestQueue::RequestQueue(std::size_t capacity)
@@ -31,7 +43,7 @@ Status RequestQueue::push(PendingRequest&& req) {
       return Status(StatusCode::kUnavailable, "request queue closed");
     }
     items_.push_back(std::move(req));
-    depth_gauge().set(static_cast<double>(items_.size()));
+    note_depth(items_.size());
   }
   nonempty_cv_.notify_one();
   return Status::Ok();
@@ -47,7 +59,7 @@ Status RequestQueue::try_push(PendingRequest&& req) {
       return Status(StatusCode::kUnavailable, "request queue full");
     }
     items_.push_back(std::move(req));
-    depth_gauge().set(static_cast<double>(items_.size()));
+    note_depth(items_.size());
   }
   nonempty_cv_.notify_one();
   return Status::Ok();
@@ -85,7 +97,7 @@ bool RequestQueue::pop_batch(std::vector<PendingRequest>& out,
   }
   if (closed_) take_available();  // closing flushes whatever arrived
 
-  depth_gauge().set(static_cast<double>(items_.size()));
+  note_depth(items_.size());
   lock.unlock();
   space_cv_.notify_all();
   return true;

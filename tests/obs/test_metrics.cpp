@@ -141,6 +141,48 @@ TEST_F(MetricsTest, ResetZeroesButKeepsHandles) {
   EXPECT_EQ(c.total(), 1);
 }
 
+TEST_F(MetricsTest, GaugeWatermarkTracksPeakAndRearmsOnTake) {
+  obs::Gauge& g = obs::gauge("t.wm.gauge");
+  g.add(1.0);
+  g.add(4.0);   // peak: 5
+  g.add(-3.0);  // current: 2
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max_watermark(), 5.0);
+
+  // take_watermark reports the peak and re-arms at the current value, so
+  // the next window's peak starts from here instead of sticking at the
+  // all-time high.
+  EXPECT_DOUBLE_EQ(g.take_watermark(), 5.0);
+  EXPECT_DOUBLE_EQ(g.max_watermark(), 2.0);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.max_watermark(), 3.0);
+
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.max_watermark(), 0.0);
+}
+
+TEST_F(MetricsTest, SnapshotCarriesGaugeWatermarkInMax) {
+  obs::Gauge& g = obs::gauge("t.wm.snap");
+  g.set(7.0);
+  g.set(2.0);
+  const std::vector<obs::MetricValue> one = snapshot_of("t.wm.snap");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(one[0].max, 7.0);  // peak since the previous snapshot
+  // The snapshot re-armed the watermark at the current value.
+  EXPECT_DOUBLE_EQ(snapshot_of("t.wm.snap")[0].max, 2.0);
+}
+
+TEST_F(MetricsTest, SnapshotIncludesSyntheticTraceDroppedEventsCounter) {
+  // Span loss must be visible wherever metrics are, even when no metric
+  // named trace.* was ever registered.
+  const std::vector<obs::MetricValue> dropped =
+      snapshot_of("trace.dropped_events");
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0].kind, obs::MetricValue::Kind::kCounter);
+  EXPECT_GE(dropped[0].count, 0);
+}
+
 TEST_F(MetricsTest, JsonSnapshotParses) {
   obs::counter("t.json.counter").add(3);
   obs::gauge("t.json.gauge").set(0.5);

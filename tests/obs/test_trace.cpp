@@ -160,6 +160,80 @@ TEST_F(TraceTest, ParallelForCapturesWorkerSpansThatNest) {
   EXPECT_EQ(doc.at("traceEvents").arr.size(), events.size());
 }
 
+TEST_F(TraceTest, SpanCarriesTwoArgsIntoEventAndJson) {
+  {
+    obs::TraceSpan span("two.args");
+    span.arg("batch_size", 4);
+    span.arg("batch_id", 17);
+    span.arg("batch_size", 5);  // re-using a key overwrites its slot
+  }
+  const std::vector<obs::TraceEvent> events = obs::trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_NE(events[0].arg_name, nullptr);
+  EXPECT_STREQ(events[0].arg_name, "batch_size");
+  EXPECT_EQ(events[0].arg_value, 5);
+  ASSERT_NE(events[0].arg2_name, nullptr);
+  EXPECT_STREQ(events[0].arg2_name, "batch_id");
+  EXPECT_EQ(events[0].arg2_value, 17);
+
+  // Both land in one "args" object in the Chrome JSON.
+  const testjson::Value doc = testjson::parse(obs::trace_to_json());
+  const testjson::Value& e = doc.at("traceEvents").arr[0];
+  EXPECT_EQ(e.at("args").at("batch_size").num, 5.0);
+  EXPECT_EQ(e.at("args").at("batch_id").num, 17.0);
+}
+
+TEST_F(TraceTest, RequestScopeTagsSpansAndNests) {
+  EXPECT_EQ(obs::trace_request_id(), -1);
+  {
+    obs::TraceRequestScope outer(42);
+    EXPECT_EQ(obs::trace_request_id(), 42);
+    { obs::TraceSpan span("scoped.outer"); }
+    {
+      obs::TraceRequestScope inner(43);
+      EXPECT_EQ(obs::trace_request_id(), 43);
+      { obs::TraceSpan span("scoped.inner"); }
+    }
+    EXPECT_EQ(obs::trace_request_id(), 42);  // nesting restores
+    obs::trace_record("scoped.record", 0.0, 1.0, "phase", 2);
+  }
+  EXPECT_EQ(obs::trace_request_id(), -1);
+  { obs::TraceSpan span("scoped.after"); }
+
+  std::map<std::string, const obs::TraceEvent*> by_name;
+  const std::vector<obs::TraceEvent> events = obs::trace_events();
+  for (const obs::TraceEvent& e : events) by_name[e.name] = &e;
+
+  auto req_id_of = [](const obs::TraceEvent& e) -> std::int64_t {
+    if (e.arg_name != nullptr && std::string(e.arg_name) == "req_id") {
+      return e.arg_value;
+    }
+    if (e.arg2_name != nullptr && std::string(e.arg2_name) == "req_id") {
+      return e.arg2_value;
+    }
+    return -1;
+  };
+  ASSERT_EQ(by_name.size(), 4u);
+  EXPECT_EQ(req_id_of(*by_name["scoped.outer"]), 42);
+  EXPECT_EQ(req_id_of(*by_name["scoped.inner"]), 43);
+  // The auto-tag fills the free slot next to explicit arguments.
+  EXPECT_EQ(req_id_of(*by_name["scoped.record"]), 42);
+  EXPECT_STREQ(by_name["scoped.record"]->arg_name, "phase");
+  // Outside any scope, no req_id is attached.
+  EXPECT_EQ(req_id_of(*by_name["scoped.after"]), -1);
+}
+
+TEST_F(TraceTest, ExplicitReqIdWinsOverScopeAutoTag) {
+  obs::TraceRequestScope scope(99);
+  obs::trace_record("explicit.req", 0.0, 1.0, "req_id", 7);
+  const std::vector<obs::TraceEvent> events = obs::trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].arg_name, "req_id");
+  EXPECT_EQ(events[0].arg_value, 7);
+  // No duplicate req_id in the second slot.
+  EXPECT_EQ(events[0].arg2_name, nullptr);
+}
+
 TEST_F(TraceTest, ClearDropsEvents) {
   { ODQ_TRACE_SPAN("x"); }
   ASSERT_FALSE(obs::trace_events().empty());

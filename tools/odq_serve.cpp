@@ -36,8 +36,21 @@
 //   --verify              check bit-identity against sequential execution
 //   --require-batching    fail unless some batch carried > 1 request
 //   --json <path>         write the bench-JSON document
+//   --telemetry <path>    enable live telemetry; run a background exporter
+//                         writing the windowed snapshot to <path> (JSON)
+//                         and <path base>.prom (Prometheus text) while the
+//                         load runs; tail it live with tools/odq_top
+//   --telemetry-flush-ms <n>  exporter flush interval (default 50)
+//   --slo-us <n>          per-request latency SLO handed to the engine
+//                         (over-SLO requests emit rate-limited exemplars)
+//   --check-telemetry     after the run, check the telemetry histogram's
+//                         p50/p95/p99 against the load generator's own
+//                         measured latencies (must agree within one
+//                         histogram bucket) and that the exported snapshot
+//                         parses; failures exit 1
 //   --quiet               suppress the human-readable summary on stderr
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,14 +60,21 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/odq.hpp"
 #include "nn/init.hpp"
 #include "nn/models.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/session.hpp"
 #include "tensor/tensor.hpp"
 #include "tool_main.hpp"
 #include "util/json.hpp"
+#include "util/json_read.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/status.hpp"
@@ -70,6 +90,7 @@ struct Options {
   std::string checkpoint;
   std::string save_checkpoint;
   std::string json_path;
+  std::string telemetry_path;
   int workers = 4;
   int clients = 4;
   std::int64_t requests = 1000;
@@ -77,11 +98,14 @@ struct Options {
   std::int64_t flush_us = 2000;
   std::int64_t queue_cap = 64;
   std::int64_t arrival_us = 0;
+  std::int64_t telemetry_flush_ms = 50;
+  std::int64_t slo_us = 0;
   float threshold = 0.15f;
   std::int64_t width = 8;
   std::uint64_t seed = 42;
   bool verify = false;
   bool require_batching = false;
+  bool check_telemetry = false;
   bool quiet = false;
 };
 
@@ -95,7 +119,9 @@ int usage() {
       "                 [--max-batch n] [--flush-us n] [--queue-cap n]\n"
       "                 [--arrival-us n] [--threshold t] [--width w]\n"
       "                 [--seed s] [--verify] [--require-batching]\n"
-      "                 [--json out.json] [--quiet]\n");
+      "                 [--json out.json] [--telemetry snap.json]\n"
+      "                 [--telemetry-flush-ms n] [--slo-us n]\n"
+      "                 [--check-telemetry] [--quiet]\n");
   return 2;
 }
 
@@ -150,6 +176,15 @@ bool bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
                      static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
 }
 
+// "x.json" -> "x.prom"; anything else gets ".prom" appended.
+std::string prom_path_for(const std::string& json_path) {
+  if (json_path.size() > 5 &&
+      json_path.compare(json_path.size() - 5, 5, ".json") == 0) {
+    return json_path.substr(0, json_path.size() - 5) + ".prom";
+  }
+  return json_path + ".prom";
+}
+
 }  // namespace
 
 int tool_main(int argc, char** argv) {
@@ -185,6 +220,14 @@ int tool_main(int argc, char** argv) {
       opt.queue_cap = std::atoll(next("--queue-cap"));
     } else if (a == "--arrival-us") {
       opt.arrival_us = std::atoll(next("--arrival-us"));
+    } else if (a == "--telemetry") {
+      opt.telemetry_path = next("--telemetry");
+    } else if (a == "--telemetry-flush-ms") {
+      opt.telemetry_flush_ms = std::atoll(next("--telemetry-flush-ms"));
+    } else if (a == "--slo-us") {
+      opt.slo_us = std::atoll(next("--slo-us"));
+    } else if (a == "--check-telemetry") {
+      opt.check_telemetry = true;
     } else if (a == "--threshold") {
       opt.threshold = std::strtof(next("--threshold"), nullptr);
     } else if (a == "--width") {
@@ -230,11 +273,30 @@ int tool_main(int argc, char** argv) {
   std::vector<std::shared_ptr<nn::ConvExecutor>> worker_execs(
       static_cast<std::size_t>(opt.workers));
 
+  // Telemetry: switch the windowed registry on and run the background
+  // exporter over the whole load phase, so odq_top can tail the snapshot
+  // while the run is live. Metrics come on too — the queue-depth peak line
+  // below reads the gauge watermark.
+  std::unique_ptr<obs::TelemetryExporter> exporter;
+  if (!opt.telemetry_path.empty()) {
+    obs::set_telemetry_enabled(true);
+    obs::set_metrics_enabled(true);
+    obs::TelemetryExporterConfig tcfg;
+    tcfg.json_path = opt.telemetry_path;
+    tcfg.prom_path = prom_path_for(opt.telemetry_path);
+    tcfg.flush_interval_ms =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            1, opt.telemetry_flush_ms));
+    exporter = std::make_unique<obs::TelemetryExporter>(std::move(tcfg));
+    exporter->start();
+  }
+
   serve::EngineConfig ecfg;
   ecfg.num_workers = opt.workers;
   ecfg.queue_capacity = static_cast<std::size_t>(opt.queue_cap);
   ecfg.max_batch = static_cast<std::size_t>(opt.max_batch);
   ecfg.flush_timeout_us = opt.flush_us;
+  ecfg.slo_us = opt.slo_us;
   serve::ServeEngine engine(ecfg, [&](int worker_id) {
     std::unique_ptr<serve::ModelSession> s = make_session(opt);
     worker_execs[static_cast<std::size_t>(worker_id)] = s->executor();
@@ -289,6 +351,8 @@ int tool_main(int argc, char** argv) {
   }
   const double load_seconds = load_timer.seconds();
   engine.shutdown();
+  // Drain flush: everything recorded up to shutdown is on disk after this.
+  if (exporter != nullptr) exporter->stop();
   const serve::EngineStats stats = engine.stats();
 
   std::int64_t errors = 0;
@@ -330,6 +394,68 @@ int tool_main(int argc, char** argv) {
         }
       }
       ++verified;
+    }
+  }
+
+  // Telemetry self-check: the windowed histogram's quantiles must land in
+  // (or next to) the bucket holding the load generator's own measured
+  // order statistic — the histogram is the live view of the exact same
+  // latencies, so disagreement beyond bucket resolution is a bug.
+  int telemetry_quantile_check = -1;  // -1 not run, 0 failed, 1 passed
+  int telemetry_snapshot_valid = -1;
+  std::uint64_t telemetry_observed = 0;
+  obs::TelemetryWindowStats telemetry_total;
+  if (!opt.telemetry_path.empty()) {
+    const obs::LogHistogram hist =
+        obs::telemetry_series("serve.latency_us").total();
+    telemetry_observed = hist.count();
+    telemetry_total.count = hist.count();
+    telemetry_total.mean = hist.mean();
+    telemetry_total.p50 = hist.quantile(0.50);
+    telemetry_total.p95 = hist.quantile(0.95);
+    telemetry_total.p99 = hist.quantile(0.99);
+
+    const util::StatusOr<util::JsonValue> parsed =
+        util::json_try_parse_file(opt.telemetry_path);
+    telemetry_snapshot_valid = parsed.ok() ? 1 : 0;
+
+    if (opt.check_telemetry) {
+      std::vector<std::uint64_t> oracle_us;
+      oracle_us.reserve(responses.size());
+      for (const serve::InferResponse& res : responses) {
+        if (res.done_us > 0.0) {
+          oracle_us.push_back(res.latency_us() > 0.0
+                                  ? static_cast<std::uint64_t>(
+                                        res.latency_us())
+                                  : 0);
+        }
+      }
+      std::sort(oracle_us.begin(), oracle_us.end());
+      telemetry_quantile_check =
+          (!oracle_us.empty() && hist.count() == oracle_us.size()) ? 1 : 0;
+      for (const double q : {0.50, 0.95, 0.99}) {
+        if (oracle_us.empty()) break;
+        const std::size_t rank = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(q * static_cast<double>(oracle_us.size()))));
+        const std::uint64_t oracle_v = oracle_us[rank - 1];
+        const auto ob =
+            static_cast<std::int64_t>(obs::log_bucket_index(oracle_v));
+        const auto hb =
+            static_cast<std::int64_t>(obs::log_bucket_index(hist.quantile(q)));
+        if (ob - hb > 1 || hb - ob > 1) {
+          telemetry_quantile_check = 0;
+          if (!opt.quiet) {
+            std::fprintf(stderr,
+                         "odq_serve: telemetry p%g MISMATCH: oracle %llu us "
+                         "(bucket %lld) vs histogram %llu us (bucket %lld)\n",
+                         100 * q, static_cast<unsigned long long>(oracle_v),
+                         static_cast<long long>(ob),
+                         static_cast<unsigned long long>(hist.quantile(q)),
+                         static_cast<long long>(hb));
+          }
+        }
+      }
     }
   }
 
@@ -376,6 +502,27 @@ int tool_main(int argc, char** argv) {
                    bit_identical ? "bit-identical to sequential execution"
                                  : "DIVERGED from sequential execution");
     }
+    if (!opt.telemetry_path.empty()) {
+      std::fprintf(stderr,
+                   "  telemetry: %" PRIu64 " samples  p50 %.2f ms  p95 %.2f "
+                   "ms  p99 %.2f ms (windowed histogram), snapshot %s\n",
+                   telemetry_observed, telemetry_total.p50 / 1000.0,
+                   telemetry_total.p95 / 1000.0, telemetry_total.p99 / 1000.0,
+                   telemetry_snapshot_valid == 1 ? opt.telemetry_path.c_str()
+                                                 : "INVALID");
+      std::fprintf(stderr,
+                   "  queue depth peak %.0f  slo violations %" PRIu64
+                   " (slo %lld us)  trace drops %" PRIu64 "\n",
+                   obs::gauge("serve.queue_depth").max_watermark(),
+                   stats.slo_violations, static_cast<long long>(opt.slo_us),
+                   obs::trace_dropped_events());
+      if (opt.check_telemetry) {
+        std::fprintf(stderr, "  telemetry quantile check: %s\n",
+                     telemetry_quantile_check == 1 ? "within one bucket of "
+                                                    "measured latencies"
+                                                  : "FAILED");
+      }
+    }
   }
 
   if (!opt.json_path.empty()) {
@@ -413,6 +560,23 @@ int tool_main(int argc, char** argv) {
     w.kv("max_batch_observed",
          static_cast<std::int64_t>(stats.max_batch_observed));
     w.end_object();
+    if (!opt.telemetry_path.empty()) {
+      // Deterministic exposition-schema cells, gated against
+      // tools/testdata/serve_baseline.json: bucket-layout or schema
+      // changes must fail the bench gate until the baseline is refreshed.
+      w.begin_object();
+      w.kv("section", "telemetry");
+      w.kv("model", opt.model);
+      w.kv("scheme", opt.scheme);
+      w.kv("schema_version", obs::kTelemetrySchemaVersion);
+      w.kv("windows", static_cast<int>(obs::kTelemetryWindowsS.size()));
+      w.kv("sub_bucket_bits", obs::kLogHistSubBits);
+      w.kv("max_value_pow2", obs::kLogHistMaxPow);
+      w.kv("observed", static_cast<std::int64_t>(telemetry_observed));
+      w.kv("snapshot_valid", telemetry_snapshot_valid);
+      w.kv("quantile_check", telemetry_quantile_check);
+      w.end_object();
+    }
     w.end_array();
     w.end_object();
 
@@ -430,6 +594,13 @@ int tool_main(int argc, char** argv) {
 
   if (errors > 0) return 1;
   if (opt.verify && !bit_identical) return 1;
+  if (opt.check_telemetry &&
+      (telemetry_quantile_check != 1 || telemetry_snapshot_valid != 1)) {
+    std::fprintf(stderr, "odq_serve: --check-telemetry failed (quantiles %d, "
+                 "snapshot %d)\n",
+                 telemetry_quantile_check, telemetry_snapshot_valid);
+    return 1;
+  }
   if (opt.require_batching && stats.multi_request_batches == 0) {
     std::fprintf(stderr,
                  "odq_serve: --require-batching: every batch carried a "

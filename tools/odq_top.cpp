@@ -1,0 +1,213 @@
+// odq_top — live viewer for the telemetry snapshot the TelemetryExporter
+// writes (see obs/telemetry.hpp and the "Serving telemetry" section of
+// docs/observability.md).
+//
+//   odq_top --snapshot serve.telemetry.json            # live tail
+//   odq_top --once --json --snapshot serve.telemetry.json   # scripting
+//
+// Tails the snapshot file (atomic tmp+rename writes mean every read sees a
+// complete document or the previous one) and renders a per-window table of
+// every series (count/mean/p50/p95/p99/p999 over total/1s/10s/60s) and
+// counter, plus the flush sequence and the trace droppedEvents counter.
+//
+// Options:
+//   --snapshot <path>   snapshot file (default: the ODQ_TELEMETRY path)
+//   --interval-ms <n>   poll interval in live mode (default 500)
+//   --iterations <n>    stop after n renders (0 = until interrupted)
+//   --once              read and render once, then exit (exit 1 when the
+//                       snapshot is missing or malformed)
+//   --json              emit the parsed snapshot back as JSON on stdout
+//                       instead of the table (scripting/ctest; implies the
+//                       same validation as the table path)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "tool_main.hpp"
+#include "util/json.hpp"
+#include "util/json_read.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+using namespace odq;
+
+struct Options {
+  std::string snapshot;
+  std::int64_t interval_ms = 500;
+  std::int64_t iterations = 0;
+  bool once = false;
+  bool json = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: odq_top [--snapshot snap.json] [--interval-ms n]\n"
+               "               [--iterations n] [--once] [--json]\n");
+  return 2;
+}
+
+// Re-serialize a parsed document (std::map keys iterate sorted, which is
+// exactly the writer's convention, so round-trips are stable).
+void emit_json(const util::JsonValue& v, util::JsonWriter& w) {
+  using Kind = util::JsonValue::Kind;
+  switch (v.kind) {
+    case Kind::kNull:
+      w.value_null();
+      break;
+    case Kind::kBool:
+      w.value(v.b);
+      break;
+    case Kind::kNumber:
+      w.value(v.num);
+      break;
+    case Kind::kString:
+      w.value(v.str);
+      break;
+    case Kind::kArray:
+      w.begin_array();
+      for (const util::JsonValue& e : v.arr) emit_json(e, w);
+      w.end_array();
+      break;
+    case Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.obj) {
+        w.key(k);
+        emit_json(e, w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+double num_or(const util::JsonValue& obj, const std::string& key,
+              double fallback) {
+  if (!obj.has(key)) return fallback;
+  const util::JsonValue& v = obj.at(key);
+  return v.is_number() ? v.num : fallback;
+}
+
+// A snapshot is usable when it self-identifies and carries the schema
+// version this viewer understands.
+util::Status validate(const util::JsonValue& doc) {
+  if (doc.kind != util::JsonValue::Kind::kObject || !doc.has("bench") ||
+      !doc.at("bench").is_string() || doc.at("bench").str != "odq_telemetry") {
+    return util::Status(util::StatusCode::kCorruption,
+                        "not an odq_telemetry snapshot");
+  }
+  const double version = num_or(doc, "schema_version", -1.0);
+  if (version != static_cast<double>(obs::kTelemetrySchemaVersion)) {
+    return util::Status(util::StatusCode::kFailedPrecondition,
+                        "unsupported telemetry schema_version");
+  }
+  return util::Status::Ok();
+}
+
+void render(const util::JsonValue& doc) {
+  std::printf("odq_top — flush #%.0f   generated %.3f s   trace drops %.0f\n",
+              num_or(doc, "flush_seq", 0),
+              num_or(doc, "generated_us", 0) / 1e6,
+              num_or(doc, "trace_dropped_events", 0));
+  static const std::vector<std::string> kWindows = {"total", "1s", "10s",
+                                                    "60s"};
+  if (doc.has("series") &&
+      doc.at("series").kind == util::JsonValue::Kind::kObject) {
+    std::printf("%-28s %-6s %9s %10s %8s %8s %8s %8s\n", "series", "win",
+                "count", "mean", "p50", "p95", "p99", "p999");
+    for (const auto& [name, s] : doc.at("series").obj) {
+      bool first = true;
+      for (const std::string& win : kWindows) {
+        if (!s.has(win)) continue;
+        const util::JsonValue& ws = s.at(win);
+        std::printf("%-28s %-6s %9.0f %10.1f %8.0f %8.0f %8.0f %8.0f\n",
+                    first ? name.c_str() : "", win.c_str(),
+                    num_or(ws, "count", 0), num_or(ws, "mean", 0),
+                    num_or(ws, "p50", 0), num_or(ws, "p95", 0),
+                    num_or(ws, "p99", 0), num_or(ws, "p999", 0));
+        first = false;
+      }
+    }
+  }
+  if (doc.has("counters") &&
+      doc.at("counters").kind == util::JsonValue::Kind::kObject &&
+      !doc.at("counters").obj.empty()) {
+    std::printf("%-28s %12s %9s %9s %9s\n", "counter", "total", "1s", "10s",
+                "60s");
+    for (const auto& [name, c] : doc.at("counters").obj) {
+      std::printf("%-28s %12.0f %9.0f %9.0f %9.0f\n", name.c_str(),
+                  num_or(c, "total", 0), num_or(c, "1s", 0),
+                  num_or(c, "10s", 0), num_or(c, "60s", 0));
+    }
+  }
+}
+
+}  // namespace
+
+int tool_main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "odq_top: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--snapshot") {
+      opt.snapshot = next("--snapshot");
+    } else if (a == "--interval-ms") {
+      opt.interval_ms = std::atoll(next("--interval-ms"));
+    } else if (a == "--iterations") {
+      opt.iterations = std::atoll(next("--iterations"));
+    } else if (a == "--once") {
+      opt.once = true;
+    } else if (a == "--json") {
+      opt.json = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.snapshot.empty()) opt.snapshot = obs::telemetry_env_path();
+  if (opt.snapshot.empty()) {
+    std::fprintf(stderr,
+                 "odq_top: no snapshot path (--snapshot or ODQ_TELEMETRY)\n");
+    return usage();
+  }
+  if (opt.interval_ms < 1) opt.interval_ms = 1;
+
+  std::int64_t renders = 0;
+  while (true) {
+    const util::StatusOr<util::JsonValue> parsed =
+        util::json_try_parse_file(opt.snapshot);
+    util::Status ok = parsed.ok() ? validate(*parsed) : parsed.status();
+    if (ok.ok()) {
+      if (opt.json) {
+        util::JsonWriter w;
+        emit_json(*parsed, w);
+        std::printf("%s\n", w.take().c_str());
+      } else {
+        if (!opt.once) std::printf("\033[2J\033[H");  // clear in live mode
+        render(*parsed);
+      }
+      std::fflush(stdout);
+      ++renders;
+    } else if (opt.once) {
+      std::fprintf(stderr, "odq_top: %s: %s\n", opt.snapshot.c_str(),
+                   ok.message().c_str());
+      return 1;
+    }
+    if (opt.once) return 0;
+    if (opt.iterations > 0 && renders >= opt.iterations) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+  }
+}
+
+int main(int argc, char** argv) {
+  return odq::tools::run_guarded("odq_top",
+                                 [&] { return tool_main(argc, argv); });
+}
