@@ -123,4 +123,12 @@ TrainTest make_synthetic_digits(std::int64_t train_n, std::int64_t test_n,
   return make_synthetic_images(cfg, train_n, test_n);
 }
 
+tensor::Tensor make_request_input(std::uint64_t seed, std::uint64_t id,
+                                  const tensor::Shape& chw) {
+  util::Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)));
+  tensor::Tensor x(tensor::Shape{1, chw[0], chw[1], chw[2]});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
+  return x;
+}
+
 }  // namespace odq::data

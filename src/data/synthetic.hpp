@@ -47,4 +47,12 @@ TrainTest make_synthetic_images(const SyntheticConfig& cfg,
 TrainTest make_synthetic_digits(std::int64_t train_n, std::int64_t test_n,
                                 std::uint64_t seed = 99);
 
+// Deterministic synthetic serving request: (seed, id) -> [1,C,H,W] tensor
+// of uniform [0,1) values, independent of submission order. Shared by the
+// odq_serve load generator and odq_fidelity --emit-baseline so quality
+// drift baselines are calibrated on exactly the serving input
+// distribution (same seed, same per-id stream).
+tensor::Tensor make_request_input(std::uint64_t seed, std::uint64_t id,
+                                  const tensor::Shape& chw);
+
 }  // namespace odq::data

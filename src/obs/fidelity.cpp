@@ -39,6 +39,14 @@ Registry& registry() {
   return *r;
 }
 
+// Scope redirection: when a FidelityScope is alive on this thread, records
+// land in its private registry instead of the global one.
+thread_local Registry* t_scope_registry = nullptr;
+
+Registry& active_registry() {
+  return t_scope_registry != nullptr ? *t_scope_registry : registry();
+}
+
 // Histogram bounds for a cell: anchored at the threshold when there is one
 // (the overlay point lands on an exact bin edge at 1/4 of the range), else
 // a unit range. The last bin absorbs overflow, the first clamps negatives.
@@ -57,6 +65,7 @@ void hist_add(Cell& c, double x) {
 }  // namespace
 
 bool fidelity_enabled() {
+  if (t_scope_registry != nullptr) return true;
   int v = g_fidelity_enabled.load(std::memory_order_relaxed);
   if (v < 0) {
     const char* env = std::getenv("ODQ_FIDELITY");
@@ -131,7 +140,7 @@ void fidelity_record(const std::string& scheme, int layer, const float* ref,
   ErrorAccum acc;
   for (std::int64_t i = 0; i < n; ++i) acc.add(ref[i], out[i]);
 
-  Registry& r = registry();
+  Registry& r = active_registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   Cell& c = r.cells[{scheme, layer}];
   ++c.calls;
@@ -154,7 +163,7 @@ void fidelity_record_odq(const std::string& scheme, int layer, float threshold,
     }
   }
 
-  Registry& r = registry();
+  Registry& r = active_registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   Cell& c = r.cells[{scheme, layer}];
   ++c.calls;
@@ -173,8 +182,44 @@ void fidelity_record_odq(const std::string& scheme, int layer, float threshold,
   }
 }
 
-std::vector<FidelityLayerSnapshot> fidelity_snapshot() {
-  Registry& r = registry();
+void FidelityLayerSnapshot::merge(const FidelityLayerSnapshot& other) {
+  calls += other.calls;
+  if (other.threshold != 0.0f) threshold = other.threshold;
+  total.merge(other.total);
+  predictor.merge(other.predictor);
+  sensitive.merge(other.sensitive);
+  insensitive.merge(other.insensitive);
+  if (other.hist.empty()) return;
+  if (hist.empty()) {
+    hist_lo = other.hist_lo;
+    hist_hi = other.hist_hi;
+    hist = other.hist;
+    return;
+  }
+  if (other.hist_lo == hist_lo && other.hist_hi == hist_hi &&
+      other.hist.size() == hist.size()) {
+    for (std::size_t b = 0; b < hist.size(); ++b) hist[b] += other.hist[b];
+    return;
+  }
+  // Bound mismatch (e.g. a threshold change between requests): re-bin by
+  // bin midpoint into this cell's layout. Lossy at bin granularity, which
+  // is all the histogram ever promised.
+  const double ow = (other.hist_hi - other.hist_lo) /
+                    static_cast<double>(other.hist.size());
+  const double w = (hist_hi - hist_lo) / static_cast<double>(hist.size());
+  for (std::size_t b = 0; b < other.hist.size(); ++b) {
+    if (other.hist[b] == 0) continue;
+    const double mid = other.hist_lo + (static_cast<double>(b) + 0.5) * ow;
+    auto bin = static_cast<std::int64_t>((mid - hist_lo) / w);
+    bin = std::clamp<std::int64_t>(
+        bin, 0, static_cast<std::int64_t>(hist.size()) - 1);
+    hist[static_cast<std::size_t>(bin)] += other.hist[b];
+  }
+}
+
+namespace {
+
+std::vector<FidelityLayerSnapshot> snapshot_registry(Registry& r) {
   std::lock_guard<std::mutex> lock(r.mutex);
   std::vector<FidelityLayerSnapshot> out;
   out.reserve(r.cells.size());
@@ -194,6 +239,32 @@ std::vector<FidelityLayerSnapshot> fidelity_snapshot() {
     out.push_back(std::move(s));
   }
   return out;  // std::map iteration is already (scheme, layer)-sorted
+}
+
+}  // namespace
+
+std::vector<FidelityLayerSnapshot> fidelity_snapshot() {
+  return snapshot_registry(registry());
+}
+
+FidelityScope::FidelityScope()
+    : registry_(new Registry), prev_(t_scope_registry) {
+  t_scope_registry = static_cast<Registry*>(registry_);
+}
+
+FidelityScope::~FidelityScope() {
+  t_scope_registry = static_cast<Registry*>(prev_);
+  delete static_cast<Registry*>(registry_);
+}
+
+std::vector<FidelityLayerSnapshot> FidelityScope::snapshot() const {
+  return snapshot_registry(*static_cast<Registry*>(registry_));
+}
+
+void FidelityScope::reset() {
+  Registry& r = *static_cast<Registry*>(registry_);
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.cells.clear();
 }
 
 void fidelity_reset() {

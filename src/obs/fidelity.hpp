@@ -92,6 +92,23 @@ struct FidelityLayerSnapshot {
   // Fraction of predictor magnitudes at or above `threshold` according to
   // the histogram (bin granularity; the exact count lives in `sensitive`).
   double hist_fraction_above(double t) const;
+
+  // Exact sensitive-output fraction of this cell (mask-side counts).
+  double sensitive_fraction() const {
+    return total.count > 0 ? static_cast<double>(sensitive.count) /
+                                 static_cast<double>(total.count)
+                           : 0.0;
+  }
+
+  // Fold another cell of the same (scheme, layer) into this one: calls and
+  // every error accumulator add; histograms with identical bounds add
+  // bin-wise, otherwise `other`'s bins are re-binned by midpoint into this
+  // cell's bounds (first record wins the bounds, matching the registry).
+  // Integer fields and same-bounds histograms are exactly associative;
+  // double sums associate up to floating-point rounding — the shadow lane
+  // folds per-request cells in arrival order, so two runs agree to ulps,
+  // not bits (tests/obs/test_quality.cpp pins both properties).
+  void merge(const FidelityLayerSnapshot& other);
 };
 
 // Record one instrumented conv call of a non-ODQ scheme: `out` vs the FP32
@@ -110,6 +127,38 @@ void fidelity_record_odq(const std::string& scheme, int layer, float threshold,
 
 // Deterministic snapshot: cells sorted by (scheme, layer).
 std::vector<FidelityLayerSnapshot> fidelity_snapshot();
+
+// Scoped per-thread fidelity collection for the serving shadow lane.
+//
+// While a FidelityScope is alive on a thread, fidelity collection is (a)
+// force-enabled on that thread regardless of the global ODQ_FIDELITY
+// switch, and (b) redirected into a private registry owned by the scope —
+// records made by this thread never touch the global cells, and other
+// threads (e.g. serving workers on the hot path) are unaffected. This is
+// what lets the shadow lane compute per-request error attribution while
+// the serving process keeps the global switch off. Scopes nest (the
+// innermost wins) and must be destroyed on the thread that created them.
+//
+// Note: the instrumented executors accumulate on the *calling* thread (see
+// the determinism note at the top of this header), so a scope on the
+// thread that drives model.forward() captures every conv of that pass even
+// when the conv tiles themselves run on the shared pool.
+class FidelityScope {
+ public:
+  FidelityScope();
+  ~FidelityScope();
+  FidelityScope(const FidelityScope&) = delete;
+  FidelityScope& operator=(const FidelityScope&) = delete;
+
+  // Cells recorded under this scope, sorted by (scheme, layer).
+  std::vector<FidelityLayerSnapshot> snapshot() const;
+  // Drop this scope's cells (subsequent records re-create them).
+  void reset();
+
+ private:
+  void* registry_;  // owned opaque Registry
+  void* prev_;      // previously installed scope registry (nesting)
+};
 
 // Drop every cell (subsequent records re-create them).
 void fidelity_reset();

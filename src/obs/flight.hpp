@@ -1,0 +1,94 @@
+// Anomaly flight recorder: a bounded ring of "what exactly was the model
+// looking at" snapshots for the serving quality monitor.
+//
+// When the drift detector (obs/quality.hpp) flags a layer, the shadow lane
+// records the offending request — its input tensor plus the per-layer
+// fidelity stats of that single request — into a fixed-capacity ring
+// (oldest record overwritten first, bounded memory under a drift storm).
+// dump() serializes the ring to a v3-checkpoint-style binary artifact:
+// magic + version, a header naming the model/scheme/threshold/checkpoint
+// the stats were produced under, length-prefixed records, and a trailing
+// CRC32 over the payload, written tmp+rename so the file on disk is always
+// valid or absent. load() verifies magic, size, and CRC before parsing, so
+// a truncated or bit-flipped dump is a typed kCorruption error, never a
+// crash.
+//
+// `odq_fidelity --replay <dump>` rebuilds the model from the header,
+// re-evaluates each recorded input under a FidelityScope, and checks the
+// recomputed per-layer stats against the recorded ones bit-for-bit — the
+// offline end of the live-quality loop (docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/fidelity.hpp"
+#include "tensor/tensor.hpp"
+#include "util/status.hpp"
+
+namespace odq::obs {
+
+// Provenance the replay tool needs to rebuild the evaluation environment.
+struct FlightContext {
+  std::string model;       // model zoo name ("lenet5", "resnet20", ...)
+  std::string scheme;      // executor scheme ("odq", "drq", ...)
+  std::string checkpoint;  // v3 checkpoint path; "" = deterministic init
+  std::int64_t width = 8;  // model width parameter
+  float threshold = 0.0f;  // ODQ sensitivity threshold
+};
+
+// One recorded anomaly: the request input and the per-layer fidelity stats
+// of exactly that request (what --replay reproduces bit-identically).
+struct FlightRecord {
+  std::uint64_t request_id = 0;
+  std::string reason;        // human-readable trigger, e.g. "hist_drift"
+  int layer = -1;            // flagged conv id
+  double distance = 0.0;     // histogram distance that tripped the alarm
+  double sens_delta = 0.0;   // |observed - baseline| sensitive fraction
+  tensor::Tensor input;      // [1,C,H,W] request input
+  std::vector<FidelityLayerSnapshot> layers;  // per-request stats
+};
+
+struct FlightDump {
+  FlightContext context;
+  std::vector<FlightRecord> records;
+};
+
+inline constexpr std::size_t kDefaultFlightCapacity = 8;
+
+// Thread-safe bounded ring. record() is called from the shadow lane
+// thread; dump()/records() from the tool's main thread after drain.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = kDefaultFlightCapacity);
+
+  void set_context(FlightContext ctx);
+
+  // Append, overwriting the oldest record once `capacity` is reached.
+  void record(FlightRecord rec);
+
+  // Oldest-first copy of the ring.
+  std::vector<FlightRecord> records() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  // Records accepted since construction (>= size() once the ring wraps).
+  std::uint64_t total_recorded() const;
+
+  // Serialize the ring (possibly empty) to `path`, valid-or-absent.
+  util::Status dump(const std::string& path) const;
+
+  // Parse and CRC-verify a dump file.
+  static util::StatusOr<FlightDump> load(const std::string& path);
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  FlightContext context_;
+  std::vector<FlightRecord> ring_;  // ring_[ (head_ + i) % size ] oldest-first
+  std::size_t head_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace odq::obs

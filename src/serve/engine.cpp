@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "serve/shadow.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 
@@ -95,17 +96,17 @@ double ServeEngine::now_us() const {
 }
 
 StatusOr<std::future<InferResponse>> ServeEngine::submit(
-    tensor::Tensor input) {
-  return submit_impl(std::move(input), /*blocking=*/true);
+    tensor::Tensor input, std::uint64_t tag) {
+  return submit_impl(std::move(input), tag, /*blocking=*/true);
 }
 
 StatusOr<std::future<InferResponse>> ServeEngine::try_submit(
-    tensor::Tensor input) {
-  return submit_impl(std::move(input), /*blocking=*/false);
+    tensor::Tensor input, std::uint64_t tag) {
+  return submit_impl(std::move(input), tag, /*blocking=*/false);
 }
 
 StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
-    tensor::Tensor input, bool blocking) {
+    tensor::Tensor input, std::uint64_t tag, bool blocking) {
   auto reject = [&](Status s) -> StatusOr<std::future<InferResponse>> {
     serve_telemetry().rejected.increment();
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -119,6 +120,7 @@ StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
 
   PendingRequest req;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.tag = tag == kNoRequestTag ? req.id : tag;
   req.input = std::move(input);
   req.enqueue_us = now_us();
   req.enqueue_tp = std::chrono::steady_clock::now();
@@ -205,6 +207,9 @@ void ServeEngine::worker_loop(int worker_id) {
       }
       res.done_us = now_us();
       const double queue_wait_us = res.start_us - res.enqueue_us;
+      if (cfg_.shadow != nullptr && res.status.ok()) {
+        cfg_.shadow->offer(req.tag, req.input);
+      }
 
       serve_metrics().in_flight.add(-1.0);
       serve_metrics().latency_us.record(res.latency_us());

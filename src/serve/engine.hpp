@@ -74,6 +74,8 @@
 
 namespace odq::serve {
 
+class ShadowLane;
+
 struct EngineConfig {
   int num_workers = 1;
   std::size_t queue_capacity = 256;  // backpressure bound
@@ -83,6 +85,10 @@ struct EngineConfig {
   std::int64_t slo_us = 0;  // latency SLO; requests over it count as
                             // violations and emit a rate-limited exemplar
                             // log (0 disables)
+  // Optional shadow quality-sampling lane (serve/shadow.hpp). Not owned;
+  // must outlive the engine. Workers offer each successfully served
+  // request's (tag, input) to it — a no-op when null or rate == 0.
+  ShadowLane* shadow = nullptr;
 };
 
 // Aggregate counters, kept engine-side (independent of ODQ_METRICS) so
@@ -118,10 +124,14 @@ class ServeEngine {
   // Enqueue one request. Blocks while the queue is at capacity
   // (backpressure). Returns the future the worker fulfills, or a Status:
   // kUnavailable after shutdown()/close or from the serve.submit fault site.
-  util::StatusOr<std::future<InferResponse>> submit(tensor::Tensor input);
+  // `tag` is the client identity the shadow lane samples on; the default
+  // sentinel falls back to the engine-assigned request id.
+  util::StatusOr<std::future<InferResponse>> submit(
+      tensor::Tensor input, std::uint64_t tag = kNoRequestTag);
 
   // Non-blocking variant: kUnavailable immediately when the queue is full.
-  util::StatusOr<std::future<InferResponse>> try_submit(tensor::Tensor input);
+  util::StatusOr<std::future<InferResponse>> try_submit(
+      tensor::Tensor input, std::uint64_t tag = kNoRequestTag);
 
   // Stop accepting, drain everything already accepted, join workers.
   // Idempotent; also run by the destructor.
@@ -137,6 +147,7 @@ class ServeEngine {
 
  private:
   util::StatusOr<std::future<InferResponse>> submit_impl(tensor::Tensor input,
+                                                         std::uint64_t tag,
                                                          bool blocking);
   void worker_loop(int worker_id);
 

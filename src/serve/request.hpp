@@ -16,6 +16,9 @@
 
 namespace odq::serve {
 
+// submit() tag sentinel: "no client tag, use the engine-assigned id".
+inline constexpr std::uint64_t kNoRequestTag = ~0ULL;
+
 struct InferResponse {
   util::Status status;    // OK iff `output` is valid
   tensor::Tensor output;  // model output for this sample ([1, classes])
@@ -35,6 +38,11 @@ struct InferResponse {
 // the engine/queue; callers hold the matching std::future<InferResponse>.
 struct PendingRequest {
   std::uint64_t id = 0;
+  // Client-supplied identity for the shadow sampling lane. Engine ids are
+  // allocated in arrival order (nondeterministic under concurrent
+  // submitters), so deterministic 1-in-N sampling keys on this instead;
+  // defaults to the engine id when the caller passes kNoRequestTag.
+  std::uint64_t tag = 0;
   tensor::Tensor input;
   double enqueue_us = 0.0;
   std::chrono::steady_clock::time_point enqueue_tp;

@@ -1,0 +1,552 @@
+// Online quality monitoring (obs/quality.hpp, obs/flight.hpp): TV-distance
+// goldens and re-binning, snapshot merge associativity and bulk-vs-merged
+// equivalence, FidelityScope isolation, baseline round-trip, drift-detector
+// hysteresis (including a randomized property over window sizes and trigger
+// kinds), and the flight recorder's ring bounds + valid-or-absent dump.
+#include "obs/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/proptest.hpp"
+#include "common/temp_path.hpp"
+#include "obs/fidelity.hpp"
+#include "obs/flight.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace odq::obs {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Synthetic cells: hand-built ODQ fidelity cells with exact integer counts,
+// so drift behavior is testable without running a model.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> mass_at(int nbins, int bin,
+                                   std::uint64_t count = 100) {
+  std::vector<std::uint64_t> h(static_cast<std::size_t>(nbins), 0);
+  h[static_cast<std::size_t>(bin)] = count;
+  return h;
+}
+
+FidelityLayerSnapshot synthetic_cell(int layer, std::int64_t sensitive,
+                                     std::int64_t total,
+                                     std::vector<std::uint64_t> hist) {
+  FidelityLayerSnapshot s;
+  s.scheme = "odq";
+  s.layer = layer;
+  s.calls = 1;
+  s.threshold = 0.25f;
+  s.total.count = total;
+  s.total.ref_sq = static_cast<double>(total);
+  s.total.out_sq = static_cast<double>(total);
+  s.total.dot = static_cast<double>(total);
+  s.total.err_sq = static_cast<double>(total) * 1e-2;
+  s.predictor.count = total;
+  s.predictor.ref_sq = static_cast<double>(total);
+  s.predictor.err_sq = static_cast<double>(total) * 1e-1;
+  s.sensitive.count = sensitive;
+  s.insensitive.count = total - sensitive;
+  s.hist_lo = 0.0;
+  s.hist_hi = 1.0;
+  s.hist = std::move(hist);
+  return s;
+}
+
+Tensor tiny_input() {
+  Tensor t(Shape{1, 1, 2, 2});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = 0.25f * static_cast<float>(i);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// quality_hist_distance
+// ---------------------------------------------------------------------------
+
+TEST(QualityHistDistance, Goldens) {
+  const std::vector<double> a = {0.5, 0.5, 0.0, 0.0};
+  const std::vector<double> b = {0.0, 0.5, 0.5, 0.0};
+  const std::vector<double> c = {0.0, 0.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(quality_hist_distance(0, 1, a, 0, 1, a), 0.0);
+  EXPECT_DOUBLE_EQ(quality_hist_distance(0, 1, a, 0, 1, b), 0.5);
+  EXPECT_DOUBLE_EQ(quality_hist_distance(0, 1, a, 0, 1, c), 1.0);  // disjoint
+  // Either side empty = no evidence, not maximal drift.
+  EXPECT_DOUBLE_EQ(quality_hist_distance(0, 1, {}, 0, 1, a), 0.0);
+  EXPECT_DOUBLE_EQ(quality_hist_distance(0, 1, a, 0, 1, {}), 0.0);
+}
+
+TEST(QualityHistDistance, RebinsMismatchedBoundsByMidpoint) {
+  // p: 4 bins over [0,1). q: 2 bins over [0,0.5) with all mass in bin 0 —
+  // midpoint 0.125 lands in p's bin 0, so equal-mass histograms agree.
+  const std::vector<double> p = {1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> q = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(quality_hist_distance(0, 1, p, 0, 0.5, q), 0.0);
+  // q over [0,2) with mass in bin 1 — midpoint 1.5 clamps into p's last
+  // bin, maximally far from p's bin 0.
+  const std::vector<double> q2 = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(quality_hist_distance(0, 1, p, 0, 2.0, q2), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// FidelityLayerSnapshot::merge on real recorded cells
+// ---------------------------------------------------------------------------
+
+struct OdqChunk {
+  std::vector<float> ref, full, pred, mag;
+  std::vector<std::uint8_t> mask;
+};
+
+OdqChunk random_chunk(util::Rng& rng, std::int64_t n) {
+  OdqChunk c;
+  c.ref.resize(static_cast<std::size_t>(n));
+  c.full.resize(static_cast<std::size_t>(n));
+  c.pred.resize(static_cast<std::size_t>(n));
+  c.mag.resize(static_cast<std::size_t>(n));
+  c.mask.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < c.ref.size(); ++i) {
+    c.ref[i] = rng.normal_f(0, 1);
+    c.full[i] = c.ref[i] + rng.normal_f(0, 0.05f);
+    c.pred[i] = c.ref[i] + rng.normal_f(0, 0.2f);
+    c.mag[i] = rng.uniform_f(0, 1.2f);
+    c.mask[i] = c.mag[i] >= 0.25f ? 1 : 0;
+  }
+  return c;
+}
+
+FidelityLayerSnapshot record_chunk(const OdqChunk& c) {
+  FidelityScope scope;
+  fidelity_record_odq("odq", 0, 0.25f, c.ref.data(), c.full.data(),
+                      c.pred.data(), c.mag.data(), c.mask.data(),
+                      static_cast<std::int64_t>(c.ref.size()));
+  const auto snap = scope.snapshot();
+  EXPECT_EQ(snap.size(), 1u);
+  return snap.empty() ? FidelityLayerSnapshot{} : snap[0];
+}
+
+void expect_int_fields_equal(const FidelityLayerSnapshot& a,
+                             const FidelityLayerSnapshot& b) {
+  EXPECT_EQ(a.calls, b.calls);
+  EXPECT_EQ(a.total.count, b.total.count);
+  EXPECT_EQ(a.predictor.count, b.predictor.count);
+  EXPECT_EQ(a.sensitive.count, b.sensitive.count);
+  EXPECT_EQ(a.insensitive.count, b.insensitive.count);
+  EXPECT_EQ(a.hist, b.hist);
+  EXPECT_EQ(a.hist_lo, b.hist_lo);
+  EXPECT_EQ(a.hist_hi, b.hist_hi);
+}
+
+void expect_double_fields_near(const FidelityLayerSnapshot& a,
+                               const FidelityLayerSnapshot& b) {
+  for (auto [x, y] : {std::pair{&a.total, &b.total},
+                      std::pair{&a.predictor, &b.predictor},
+                      std::pair{&a.sensitive, &b.sensitive},
+                      std::pair{&a.insensitive, &b.insensitive}}) {
+    const double scale = std::abs(x->ref_sq) + 1.0;
+    EXPECT_NEAR(x->ref_sq, y->ref_sq, 1e-9 * scale);
+    EXPECT_NEAR(x->out_sq, y->out_sq, 1e-9 * scale);
+    EXPECT_NEAR(x->dot, y->dot, 1e-9 * scale);
+    EXPECT_NEAR(x->err_sq, y->err_sq, 1e-9 * scale);
+    EXPECT_NEAR(x->err_abs, y->err_abs, 1e-9 * scale);
+    EXPECT_EQ(x->err_max, y->err_max);  // max is exactly associative
+  }
+}
+
+TEST(FidelityMerge, AssociativeOnRecordedCells) {
+  util::Rng rng(31);
+  const FidelityLayerSnapshot a = record_chunk(random_chunk(rng, 64));
+  const FidelityLayerSnapshot b = record_chunk(random_chunk(rng, 48));
+  const FidelityLayerSnapshot c = record_chunk(random_chunk(rng, 80));
+
+  FidelityLayerSnapshot left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  FidelityLayerSnapshot bc = b;     // a + (b + c)
+  bc.merge(c);
+  FidelityLayerSnapshot right = a;
+  right.merge(bc);
+
+  // Integer fields and same-bounds histograms are exactly associative;
+  // double sums associate up to rounding (the contract the serve bench
+  // gate's integer-derived quality cells rely on).
+  expect_int_fields_equal(left, right);
+  expect_double_fields_near(left, right);
+  EXPECT_GT(left.total.count, 0);
+}
+
+TEST(FidelityMerge, MergedChunksMatchBulkRecording) {
+  util::Rng rng(37);
+  const OdqChunk c1 = random_chunk(rng, 64);
+  const OdqChunk c2 = random_chunk(rng, 96);
+
+  FidelityLayerSnapshot merged = record_chunk(c1);
+  merged.merge(record_chunk(c2));
+
+  FidelityScope scope;  // both chunks into one cell
+  for (const OdqChunk* c : {&c1, &c2}) {
+    fidelity_record_odq("odq", 0, 0.25f, c->ref.data(), c->full.data(),
+                        c->pred.data(), c->mag.data(), c->mask.data(),
+                        static_cast<std::int64_t>(c->ref.size()));
+  }
+  const auto snap = scope.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  expect_int_fields_equal(merged, snap[0]);
+  expect_double_fields_near(merged, snap[0]);
+  EXPECT_EQ(merged.total.count, 160);
+}
+
+TEST(FidelityScopeTest, IsolatesRecordsFromGlobalRegistry) {
+  set_fidelity_enabled(false);
+  fidelity_reset();
+  const float v[] = {1.0f, 2.0f};
+  {
+    // A scope force-enables fidelity on this thread and captures privately.
+    FidelityScope scope;
+    fidelity_record("odq", 3, v, v, 2);
+    const auto inner = scope.snapshot();
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_EQ(inner[0].layer, 3);
+    EXPECT_EQ(inner[0].total.count, 2);
+  }
+  // Nothing leaked into the global cells, and the global switch is still
+  // off: records after scope destruction go nowhere.
+  EXPECT_TRUE(fidelity_snapshot().empty());
+  fidelity_record("odq", 3, v, v, 2);
+  EXPECT_TRUE(fidelity_snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline build + round-trip
+// ---------------------------------------------------------------------------
+
+TEST(QualityBaselineTest, BuildSkipsNonOdqCellsAndSortsLayers) {
+  FidelityLayerSnapshot drq;  // no mask split: must not contribute a layer
+  drq.scheme = "drq";
+  drq.layer = 5;
+  drq.total.count = 10;
+  const std::vector<FidelityLayerSnapshot> cells = {
+      synthetic_cell(1, 80, 100, mass_at(8, 2, 400)),
+      drq,
+      synthetic_cell(0, 25, 100, mass_at(8, 6, 200)),
+  };
+  const QualityBaseline base = make_quality_baseline(cells);
+  ASSERT_EQ(base.layers.size(), 2u);
+  EXPECT_EQ(base.layers[0].layer, 0);
+  EXPECT_EQ(base.layers[1].layer, 1);
+  EXPECT_DOUBLE_EQ(base.layers[0].sensitive_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(base.layers[1].sensitive_fraction, 0.80);
+  // Histograms come out normalized regardless of the raw counts.
+  double sum = 0.0;
+  for (double v : base.layers[0].hist) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(base.layers[0].hist[6], 1.0);
+}
+
+TEST(QualityBaselineTest, SaveLoadRoundTrips) {
+  QualityBaseline base;
+  base.model = "lenet5";
+  base.scheme = "odq";
+  base.width = 8;
+  base.threshold = 0.25f;
+  base.inputs = "uniform";
+  base.seed = 42;
+  base.batch = 64;
+  QualityBaselineLayer l0;
+  l0.layer = 0;
+  l0.threshold = 0.25f;
+  l0.sensitive_fraction = 0.75;
+  l0.sqnr_db = 12.5;
+  l0.hist_lo = 0.0;
+  l0.hist_hi = 1.0;
+  l0.hist = {0.25, 0.75};
+  base.layers.push_back(l0);
+
+  const std::string path = testutil::temp_path("quality_baseline.json");
+  ASSERT_TRUE(base.save(path).ok());
+  const util::StatusOr<QualityBaseline> loaded = QualityBaseline::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->model, "lenet5");
+  EXPECT_EQ(loaded->scheme, "odq");
+  EXPECT_EQ(loaded->inputs, "uniform");
+  EXPECT_EQ(loaded->seed, 42u);
+  EXPECT_EQ(loaded->batch, 64);
+  EXPECT_FLOAT_EQ(loaded->threshold, 0.25f);
+  ASSERT_EQ(loaded->layers.size(), 1u);
+  EXPECT_EQ(loaded->layers[0].layer, 0);
+  EXPECT_DOUBLE_EQ(loaded->layers[0].sensitive_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(loaded->layers[0].sqnr_db, 12.5);
+  ASSERT_EQ(loaded->layers[0].hist.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->layers[0].hist[1], 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(QualityBaselineTest, LoadRejectsForeignDocuments) {
+  const std::string path = testutil::temp_path("not_a_baseline.json");
+  {
+    std::ofstream f(path);
+    f << "{\"doc\":\"something_else\",\"version\":1}\n";
+  }
+  const auto loaded = QualityBaseline::load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+  std::remove(path.c_str());
+  EXPECT_FALSE(QualityBaseline::load(path).ok());  // absent file
+}
+
+// ---------------------------------------------------------------------------
+// Drift detector
+// ---------------------------------------------------------------------------
+
+TEST(QualityMonitorTest, NoBaselineAccumulatesWithoutAlerts) {
+  QualityMonitor mon;
+  const Tensor input = tiny_input();
+  for (int r = 0; r < 20; ++r) {
+    mon.observe(static_cast<std::uint64_t>(r), input,
+                {synthetic_cell(0, 50, 100, mass_at(8, 1))});
+  }
+  EXPECT_EQ(mon.observed(), 20u);
+  EXPECT_EQ(mon.drift_alerts(), 0);
+  EXPECT_FALSE(mon.has_baseline());
+  const auto sum = mon.summary();
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_EQ(sum[0].requests, 20);
+  EXPECT_DOUBLE_EQ(sum[0].sensitive_fraction, 0.5);
+}
+
+TEST(QualityMonitorTest, PersistentShiftFiresOncePerLayer) {
+  QualityConfig cfg;
+  cfg.drift_window = 2;
+  QualityMonitor mon(cfg);
+  const auto in_dist = synthetic_cell(0, 80, 100, mass_at(8, 1));
+  mon.set_baseline(make_quality_baseline({in_dist}));
+  const Tensor input = tiny_input();
+
+  std::uint64_t rid = 0;
+  // In-distribution traffic: identical statistics, zero alerts.
+  for (int r = 0; r < 8; ++r) mon.observe(rid++, input, {in_dist});
+  EXPECT_EQ(mon.drift_alerts(), 0);
+
+  // Persistent shift (disjoint histogram + sensitive fraction move): the
+  // first completed window fires, hysteresis holds every later one.
+  const auto shifted = synthetic_cell(0, 40, 100, mass_at(8, 6));
+  for (int r = 0; r < 10; ++r) mon.observe(rid++, input, {shifted});
+  EXPECT_EQ(mon.drift_alerts(), 1);
+  auto sum = mon.summary();
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_TRUE(sum[0].drifted);
+  EXPECT_EQ(sum[0].alerts, 1);
+  EXPECT_DOUBLE_EQ(sum[0].window_distance, 1.0);
+  EXPECT_EQ(mon.flight().total_recorded(), 1u);
+
+  // Recovery re-arms (both statistics back under threshold * rearm), then
+  // a second shift fires exactly once more.
+  for (int r = 0; r < 4; ++r) mon.observe(rid++, input, {in_dist});
+  EXPECT_EQ(mon.drift_alerts(), 1);
+  EXPECT_FALSE(mon.summary()[0].drifted);
+  for (int r = 0; r < 6; ++r) mon.observe(rid++, input, {shifted});
+  EXPECT_EQ(mon.drift_alerts(), 2);
+}
+
+TEST(QualityMonitorTest, LayerAbsentFromBaselineNeverAlerts) {
+  QualityConfig cfg;
+  cfg.drift_window = 1;
+  QualityMonitor mon(cfg);
+  mon.set_baseline(
+      make_quality_baseline({synthetic_cell(0, 80, 100, mass_at(8, 1))}));
+  const Tensor input = tiny_input();
+  // Layer 7 has no baseline entry: it accumulates but cannot drift.
+  for (int r = 0; r < 5; ++r) {
+    mon.observe(static_cast<std::uint64_t>(r), input,
+                {synthetic_cell(7, 10, 100, mass_at(8, 5))});
+  }
+  EXPECT_EQ(mon.drift_alerts(), 0);
+}
+
+// Property: over random window sizes, bin counts, and trigger kinds, a
+// persistent shifted stream fires exactly once per arming and an unshifted
+// stream never fires (the hysteresis contract CI's drift fixture relies on).
+TEST(QualityMonitorProperty, HysteresisFiresExactlyOncePerShift) {
+  for (int i = 0; i < 40; ++i) {
+    ODQ_PROP_CASE(c, i);
+    util::Rng& rng = c.rng();
+    const int nbins = rng.uniform_int(4, 16);
+    const int base_bin = rng.uniform_int(0, nbins - 1);
+    const int shift_bin = (base_bin + rng.uniform_int(1, nbins - 1)) % nbins;
+    const std::int64_t sens = rng.uniform_int(10, 50);
+
+    QualityConfig cfg;
+    cfg.drift_window = rng.uniform_int(1, 4);
+    QualityMonitor mon(cfg);
+    const auto in_dist = synthetic_cell(0, sens, 100, mass_at(nbins, base_bin));
+    mon.set_baseline(make_quality_baseline({in_dist}));
+
+    // Trigger kind: histogram shift, sensitive-fraction shift, or both.
+    const int kind = rng.uniform_int(0, 2);
+    const std::int64_t shifted_sens = kind == 0 ? sens : sens + 40;
+    const int shifted_bin = kind == 1 ? base_bin : shift_bin;
+    const auto shifted =
+        synthetic_cell(0, shifted_sens, 100, mass_at(nbins, shifted_bin));
+
+    const Tensor input = tiny_input();
+    std::uint64_t rid = 0;
+    auto feed = [&](const FidelityLayerSnapshot& cell, int windows) {
+      for (std::int64_t r = 0; r < windows * cfg.drift_window; ++r) {
+        mon.observe(rid++, input, {cell});
+      }
+    };
+
+    feed(in_dist, rng.uniform_int(1, 4));
+    EXPECT_EQ(mon.drift_alerts(), 0) << "unshifted stream fired";
+    feed(shifted, rng.uniform_int(2, 6));
+    EXPECT_EQ(mon.drift_alerts(), 1) << "persistent shift must fire once";
+    feed(in_dist, rng.uniform_int(1, 4));  // recovery re-arms, no new alert
+    EXPECT_EQ(mon.drift_alerts(), 1);
+    feed(shifted, rng.uniform_int(2, 6));
+    EXPECT_EQ(mon.drift_alerts(), 2) << "re-armed layer must fire again";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+FlightRecord make_record(std::uint64_t id, util::Rng& rng) {
+  FlightRecord rec;
+  rec.request_id = id;
+  rec.reason = "hist_drift";
+  rec.layer = 1;
+  rec.distance = 0.625;
+  rec.sens_delta = 0.125;
+  Tensor input(Shape{1, 2, 3, 3});
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    input[i] = rng.uniform_f(0, 1);
+  }
+  rec.input = input;
+  rec.layers = {synthetic_cell(0, 40, 100, mass_at(8, 2)),
+                synthetic_cell(1, 90, 100, mass_at(8, 5))};
+  return rec;
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAtCapacity) {
+  util::Rng rng(5);
+  FlightRecorder ring(3);
+  EXPECT_EQ(ring.capacity(), 3u);
+  for (std::uint64_t id = 1; id <= 5; ++id) ring.record(make_record(id, rng));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_recorded(), 5u);
+  const auto records = ring.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].request_id, 3u);  // oldest surviving, oldest first
+  EXPECT_EQ(records[1].request_id, 4u);
+  EXPECT_EQ(records[2].request_id, 5u);
+}
+
+TEST(FlightRecorderTest, DumpLoadRoundTripsBitExactly) {
+  util::Rng rng(9);
+  FlightRecorder ring(4);
+  ring.set_context({"lenet5", "odq", "ckpt.bin", 8, 0.15f});
+  ring.record(make_record(11, rng));
+  ring.record(make_record(12, rng));
+
+  const std::string path = testutil::temp_path("flight_roundtrip.bin");
+  ASSERT_TRUE(ring.dump(path).ok());
+  const util::StatusOr<FlightDump> loaded = FlightRecorder::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->context.model, "lenet5");
+  EXPECT_EQ(loaded->context.scheme, "odq");
+  EXPECT_EQ(loaded->context.checkpoint, "ckpt.bin");
+  EXPECT_EQ(loaded->context.width, 8);
+  EXPECT_FLOAT_EQ(loaded->context.threshold, 0.15f);
+  const auto original = ring.records();
+  ASSERT_EQ(loaded->records.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const FlightRecord& a = original[i];
+    const FlightRecord& b = loaded->records[i];
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(a.request_id, b.request_id);
+    EXPECT_EQ(a.reason, b.reason);
+    EXPECT_EQ(a.layer, b.layer);
+    EXPECT_EQ(a.distance, b.distance);  // raw doubles: bit-exact
+    EXPECT_EQ(a.sens_delta, b.sens_delta);
+    ASSERT_EQ(a.input.numel(), b.input.numel());
+    for (std::int64_t j = 0; j < a.input.numel(); ++j) {
+      EXPECT_EQ(a.input[j], b.input[j]);
+    }
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t l = 0; l < a.layers.size(); ++l) {
+      EXPECT_EQ(a.layers[l].scheme, b.layers[l].scheme);
+      EXPECT_EQ(a.layers[l].layer, b.layers[l].layer);
+      EXPECT_EQ(a.layers[l].total.count, b.layers[l].total.count);
+      EXPECT_EQ(a.layers[l].total.err_sq, b.layers[l].total.err_sq);
+      EXPECT_EQ(a.layers[l].sensitive.count, b.layers[l].sensitive.count);
+      EXPECT_EQ(a.layers[l].hist, b.layers[l].hist);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, LoadRejectsCorruptionAndTruncation) {
+  util::Rng rng(13);
+  FlightRecorder ring(2);
+  ring.record(make_record(7, rng));
+  const std::string path = testutil::temp_path("flight_corrupt.bin");
+  ASSERT_TRUE(ring.dump(path).ok());
+
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 32u);
+
+  // Bit-flip mid-payload: CRC must catch it.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] = static_cast<char>(flipped[bytes.size() / 2] ^ 0x40);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+  }
+  auto corrupt = FlightRecorder::load(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), util::StatusCode::kCorruption);
+
+  // Truncation: typed corruption, never a crash.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto truncated = FlightRecorder::load(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), util::StatusCode::kCorruption);
+
+  std::remove(path.c_str());
+  EXPECT_EQ(FlightRecorder::load(path).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(FlightRecorderTest, EmptyRingDumpsAndLoads) {
+  FlightRecorder ring;
+  ring.set_context({"resnet20", "odq", "", 8, 0.1f});
+  const std::string path = testutil::temp_path("flight_empty.bin");
+  ASSERT_TRUE(ring.dump(path).ok());
+  const auto loaded = FlightRecorder::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->context.model, "resnet20");
+  EXPECT_TRUE(loaded->records.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace odq::obs

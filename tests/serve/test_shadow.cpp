@@ -1,0 +1,305 @@
+// Shadow quality-sampling lane (serve/shadow.hpp): sampling-predicate
+// determinism and seeding, zero-work when disabled, exact sample accounting
+// under a 4-worker engine load (the TSan target — shadow thread vs workers),
+// exact zero drift when the baseline is calibrated on the identical request
+// stream, drift firing with hysteresis on a mismatched baseline, and
+// bit-identical flight-dump replay.
+#include "serve/shadow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/temp_path.hpp"
+#include "core/odq.hpp"
+#include "data/synthetic.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/model.hpp"
+#include "nn/pooling.hpp"
+#include "obs/fidelity.hpp"
+#include "obs/flight.hpp"
+#include "obs/quality.hpp"
+#include "serve/engine.hpp"
+#include "serve/session.hpp"
+#include "util/status.hpp"
+
+namespace odq::serve {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr float kThreshold = 0.2f;
+const Shape kInputChw{2, 8, 8};
+
+class IdentitySession : public InferenceSession {
+ public:
+  Tensor run(const Tensor& input) override { return input; }
+  std::string scheme() const override { return "echo"; }
+};
+
+// Every session replica (serving workers, shadow lane, calibration, replay)
+// is built from the same seed, so weights are bit-identical — the property
+// the exact-zero-drift and replay assertions rest on.
+std::unique_ptr<InferenceSession> make_odq_session() {
+  nn::Model m("shadow-test");
+  m.add<nn::Conv2d>(2, 4, 3, 1, 1);
+  m.add<nn::ReLU>();
+  m.add<nn::Conv2d>(4, 4, 3, 1, 1);
+  m.add<nn::ReLU>();
+  m.add<nn::GlobalAvgPool>();
+  m.add<nn::Flatten>();
+  m.add<nn::Linear>(4, 3);
+  nn::kaiming_init(m, 17);
+  core::OdqConfig cfg;
+  cfg.threshold = kThreshold;
+  return std::make_unique<ModelSession>(std::move(m),
+                                        make_conv_executor("odq", cfg), "odq");
+}
+
+Tensor request_input(std::uint64_t tag) {
+  return data::make_request_input(/*seed=*/42, tag, kInputChw);
+}
+
+// The set of tags in [0, n) the lane samples (the predicate is pure, so a
+// throwaway lane answers for any identically-configured one).
+std::vector<std::uint64_t> sampled_tags(const ShadowConfig& cfg,
+                                        std::uint64_t n) {
+  ShadowLane probe(cfg, std::make_unique<IdentitySession>());
+  probe.stop();
+  std::vector<std::uint64_t> tags;
+  for (std::uint64_t t = 0; t < n; ++t) {
+    if (probe.sampled(t)) tags.push_back(t);
+  }
+  return tags;
+}
+
+// Run `requests` tagged requests through a 4-worker engine wired to `lane`,
+// waiting for every response before shutdown.
+void drive_engine(ShadowLane& lane, std::uint64_t requests) {
+  EngineConfig ecfg;
+  ecfg.num_workers = 4;
+  ecfg.max_batch = 4;
+  ecfg.shadow = &lane;
+  ServeEngine engine(ecfg, [](int) { return make_odq_session(); });
+  std::vector<std::future<InferResponse>> futures;
+  futures.reserve(requests);
+  for (std::uint64_t r = 0; r < requests; ++r) {
+    auto fut = engine.submit(request_input(r), r);
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(std::move(*fut));
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  engine.shutdown();
+  lane.stop();
+}
+
+TEST(ShadowSamplerTest, DeterministicSeededOneInN) {
+  ShadowConfig cfg;
+  cfg.rate = 4;
+  cfg.seed = 7;
+  ShadowLane lane(cfg, std::make_unique<IdentitySession>());
+  lane.stop();
+
+  // Pure in the tag: asking twice always agrees.
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    EXPECT_EQ(lane.sampled(t), lane.sampled(t));
+  }
+  // 1-in-4 over a large tag range, tight enough to catch a broken mixer.
+  std::uint64_t hits = 0;
+  for (std::uint64_t t = 0; t < 100000; ++t) hits += lane.sampled(t) ? 1 : 0;
+  EXPECT_GT(hits, 24000u);
+  EXPECT_LT(hits, 26000u);
+
+  // A different seed selects a different request set.
+  ShadowConfig cfg2 = cfg;
+  cfg2.seed = 8;
+  ShadowLane lane2(cfg2, std::make_unique<IdentitySession>());
+  lane2.stop();
+  std::uint64_t differs = 0;
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    differs += lane.sampled(t) != lane2.sampled(t) ? 1 : 0;
+  }
+  EXPECT_GT(differs, 0u);
+
+  // rate == 1 samples everything.
+  ShadowConfig all = cfg;
+  all.rate = 1;
+  ShadowLane lane_all(all, std::make_unique<IdentitySession>());
+  lane_all.stop();
+  for (std::uint64_t t = 0; t < 100; ++t) EXPECT_TRUE(lane_all.sampled(t));
+}
+
+TEST(ShadowLaneTest, DisabledLaneDoesNothing) {
+  ShadowConfig cfg;  // rate = 0
+  ShadowLane lane(cfg, std::make_unique<IdentitySession>());
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    EXPECT_FALSE(lane.sampled(t));
+    lane.offer(t, request_input(t));
+  }
+  lane.stop();
+  EXPECT_EQ(lane.samples(), 0u);
+  EXPECT_EQ(lane.evaluated(), 0u);
+  EXPECT_EQ(lane.monitor().observed(), 0u);
+}
+
+TEST(ShadowLaneTest, ExactSampleAccountingUnderEngineLoad) {
+  constexpr std::uint64_t kRequests = 160;
+  ShadowConfig cfg;
+  cfg.rate = 4;
+  cfg.seed = 3;
+  const auto expected = sampled_tags(cfg, kRequests);
+  ASSERT_GT(expected.size(), 0u);
+
+  ShadowLane lane(cfg, make_odq_session());
+  drive_engine(lane, kRequests);
+
+  // stop() drained: every sampled request was evaluated, none lost.
+  EXPECT_EQ(lane.samples(), expected.size());
+  EXPECT_EQ(lane.evaluated() + lane.dropped(), lane.samples());
+  EXPECT_EQ(lane.dropped(), 0u);
+  EXPECT_EQ(lane.errors(), 0u);
+  EXPECT_EQ(lane.monitor().observed(), lane.evaluated());
+
+  const auto summary = lane.monitor().summary();
+  ASSERT_EQ(summary.size(), 2u);  // two conv layers
+  for (const auto& layer : summary) {
+    EXPECT_EQ(layer.requests, static_cast<std::int64_t>(expected.size()));
+    EXPECT_GE(layer.sensitive_fraction, 0.0);
+    EXPECT_LE(layer.sensitive_fraction, 1.0);
+    EXPECT_EQ(layer.alerts, 0);  // no baseline installed
+  }
+}
+
+TEST(ShadowLaneTest, InDistributionBaselineGivesExactZeroDrift) {
+  constexpr std::uint64_t kRequests = 120;
+  ShadowConfig cfg;
+  cfg.rate = 4;
+  cfg.seed = 5;
+  const auto expected = sampled_tags(cfg, kRequests);
+  ASSERT_GT(expected.size(), 1u);
+  // One window spanning exactly the sampled request set.
+  cfg.quality.drift_window = static_cast<std::int64_t>(expected.size());
+
+  // Calibrate the baseline on the identical inputs the lane will shadow.
+  obs::QualityBaseline baseline;
+  {
+    auto calib = make_odq_session();
+    obs::FidelityScope scope;
+    for (std::uint64_t tag : expected) (void)calib->run(request_input(tag));
+    baseline = obs::make_quality_baseline(scope.snapshot());
+  }
+  ASSERT_EQ(baseline.layers.size(), 2u);
+
+  ShadowLane lane(cfg, make_odq_session());
+  lane.monitor().set_baseline(baseline);
+  drive_engine(lane, kRequests);
+
+  EXPECT_EQ(lane.samples(), expected.size());
+  EXPECT_EQ(lane.monitor().drift_alerts(), 0);
+  const auto summary = lane.monitor().summary();
+  ASSERT_EQ(summary.size(), 2u);
+  for (const auto& layer : summary) {
+    SCOPED_TRACE("layer " + std::to_string(layer.layer));
+    // The folded cells carry the same integer counts the calibration pass
+    // accumulated, so both statistics match the baseline exactly — not
+    // approximately — regardless of shadow-queue arrival order.
+    EXPECT_DOUBLE_EQ(layer.drift_distance, 0.0);
+    EXPECT_DOUBLE_EQ(layer.window_distance, 0.0);
+    EXPECT_DOUBLE_EQ(layer.sensitive_fraction, layer.baseline_fraction);
+    EXPECT_FALSE(layer.drifted);
+  }
+}
+
+TEST(ShadowLaneTest, MismatchedBaselineFiresOnceAndReplaysBitExactly) {
+  constexpr std::uint64_t kRequests = 120;
+  ShadowConfig cfg;
+  cfg.rate = 4;
+  cfg.seed = 5;
+  cfg.quality.drift_window = 3;
+  const auto expected = sampled_tags(cfg, kRequests);
+  ASSERT_GT(expected.size(), 2 * static_cast<std::uint64_t>(
+                                    cfg.quality.drift_window));
+
+  // A baseline the live stream cannot match: histogram mass pinned to the
+  // top bin and the sensitive fraction pushed 0.4 away.
+  obs::QualityBaseline baseline;
+  {
+    auto calib = make_odq_session();
+    obs::FidelityScope scope;
+    for (std::uint64_t tag : expected) (void)calib->run(request_input(tag));
+    baseline = obs::make_quality_baseline(scope.snapshot());
+  }
+  for (auto& layer : baseline.layers) {
+    layer.sensitive_fraction = layer.sensitive_fraction > 0.5
+                                   ? layer.sensitive_fraction - 0.4
+                                   : layer.sensitive_fraction + 0.4;
+    std::fill(layer.hist.begin(), layer.hist.end(), 0.0);
+    layer.hist.back() = 1.0;
+  }
+
+  ShadowLane lane(cfg, make_odq_session());
+  lane.monitor().set_baseline(baseline);
+  lane.monitor().flight().set_context(
+      {"shadow-test", "odq", "", 8, kThreshold});
+  drive_engine(lane, kRequests);
+
+  // Persistent mismatch: exactly one alert per layer across many windows.
+  EXPECT_EQ(lane.monitor().drift_alerts(), 2);
+  EXPECT_EQ(lane.monitor().flight().total_recorded(), 2u);
+  for (const auto& layer : lane.monitor().summary()) {
+    EXPECT_EQ(layer.alerts, 1);
+    EXPECT_TRUE(layer.drifted);
+  }
+
+  // Flight dump -> load -> re-evaluate: the recorded per-request stats
+  // reproduce bit-for-bit (what odq_fidelity --replay automates).
+  const std::string path = testutil::temp_path("shadow_flight.bin");
+  ASSERT_TRUE(lane.monitor().flight().dump(path).ok());
+  const util::StatusOr<obs::FlightDump> loaded = obs::FlightRecorder::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->context.model, "shadow-test");
+  ASSERT_EQ(loaded->records.size(), 2u);
+  auto replay = make_odq_session();
+  for (const obs::FlightRecord& rec : loaded->records) {
+    SCOPED_TRACE("request " + std::to_string(rec.request_id));
+    obs::FidelityScope scope;
+    (void)replay->run(rec.input);
+    const auto fresh = scope.snapshot();
+    ASSERT_EQ(fresh.size(), rec.layers.size());
+    for (std::size_t l = 0; l < fresh.size(); ++l) {
+      const obs::FidelityLayerSnapshot& a = rec.layers[l];
+      const obs::FidelityLayerSnapshot& b = fresh[l];
+      EXPECT_EQ(a.scheme, b.scheme);
+      EXPECT_EQ(a.layer, b.layer);
+      EXPECT_EQ(a.calls, b.calls);
+      EXPECT_EQ(a.threshold, b.threshold);
+      for (auto [x, y] : {std::pair{&a.total, &b.total},
+                          std::pair{&a.predictor, &b.predictor},
+                          std::pair{&a.sensitive, &b.sensitive},
+                          std::pair{&a.insensitive, &b.insensitive}}) {
+        EXPECT_EQ(x->count, y->count);
+        EXPECT_EQ(x->ref_sq, y->ref_sq);
+        EXPECT_EQ(x->err_sq, y->err_sq);
+        EXPECT_EQ(x->err_abs, y->err_abs);
+        EXPECT_EQ(x->err_max, y->err_max);
+      }
+      EXPECT_EQ(a.hist, b.hist);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace odq::serve

@@ -18,12 +18,34 @@
 //   --thresholds a,b,c   explicit comma-separated thresholds (implies sweep)
 //   --batch <n>          batch size (default 8)
 //   --width <w>          model width parameter (default 8)
+//   --checkpoint <path>  v3 checkpoint loaded after deterministic init
 //   --report <path>      JSON report (default: stdout)
 //   --csv <path>         also mirror per-layer rows into a CSV file
 //   --quiet              suppress the human-readable summary on stderr
 //
 // Without --sweep/--thresholds a single point at --threshold (default 0.15)
 // is measured.
+//
+// Online-quality companion modes (docs/observability.md):
+//
+//   --emit-baseline <p>  calibrate a drift baseline: evaluate --batch
+//                        synthetic requests one sample at a time (matching
+//                        the serving path's per-sample quantization scales)
+//                        under the ODQ executor at --threshold, and write
+//                        the per-layer sensitive fraction / SQNR /
+//                        normalized predictor-magnitude histogram as an
+//                        odq_quality_baseline JSON for odq_serve
+//                        --drift-baseline. --inputs uniform --seed s selects
+//                        the uniform per-request generator odq_serve's load
+//                        loop uses (same seed => same input stream).
+//   --inputs <kind>      calibration inputs: digits (default) | uniform
+//   --seed <s>           input stream seed for --inputs uniform (default 42)
+//   --replay <dump>      load an anomaly flight-recorder dump (odq_serve
+//                        --flight-dump), rebuild the model named in its
+//                        header (checkpoint overridable via --checkpoint),
+//                        re-evaluate every recorded input, and require the
+//                        recomputed per-layer fidelity stats to match the
+//                        recorded ones bit-for-bit; any divergence exits 1.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -37,8 +59,12 @@
 #include "nn/init.hpp"
 #include "nn/models.hpp"
 #include "obs/fidelity.hpp"
+#include "obs/flight.hpp"
+#include "obs/quality.hpp"
+#include "serve/session.hpp"
 #include "tool_main.hpp"
 #include "util/json.hpp"
+#include "util/status.hpp"
 
 namespace {
 
@@ -48,11 +74,16 @@ struct Options {
   std::string model = "lenet5";
   std::string report_path;
   std::string csv_path;
+  std::string checkpoint;
+  std::string emit_baseline;
+  std::string replay;
+  std::string inputs = "digits";
   std::vector<float> thresholds;
   float threshold = 0.15f;
   bool sweep = false;
   std::int64_t batch = 8;
   std::int64_t width = 8;
+  std::uint64_t seed = 42;
   bool quiet = false;
 };
 
@@ -64,7 +95,11 @@ int usage() {
                "[--threshold t]\n"
                "                    [--batch n] [--width w] [--report out.json]"
                "\n"
-               "                    [--csv out.csv] [--quiet]\n");
+               "                    [--csv out.csv] [--checkpoint ckpt.bin] "
+               "[--quiet]\n"
+               "                    [--emit-baseline base.json] "
+               "[--inputs digits|uniform]\n"
+               "                    [--seed s] [--replay flight.bin]\n");
   return 2;
 }
 
@@ -117,6 +152,199 @@ double match_fraction(const std::vector<int>& a, const std::vector<int>& b) {
                    : static_cast<double>(hits) / static_cast<double>(a.size());
 }
 
+// [C,H,W] request shape for a model (matches odq_serve's load generator).
+tensor::Shape input_chw_for(const std::string& model) {
+  return (model == "lenet" || model == "lenet5") ? tensor::Shape{1, 28, 28}
+                                                 : tensor::Shape{3, 32, 32};
+}
+
+// Replica construction identical to odq_serve: deterministic init from the
+// fixed seed, then (optionally) a checkpoint — the baseline and the shadow
+// lane must hold the same weights or drift would measure replica skew.
+serve::ModelSession make_quality_session(const Options& opt,
+                                         const std::string& scheme,
+                                         float threshold) {
+  int classes = 10;
+  nn::Model model = build_model(opt, &classes);
+  nn::kaiming_init(model, 1);
+  if (!opt.checkpoint.empty()) {
+    model.try_load(opt.checkpoint).throw_if_error();
+  }
+  core::OdqConfig cfg;
+  cfg.threshold = threshold;
+  return serve::ModelSession(std::move(model),
+                             serve::make_conv_executor(scheme, cfg), scheme);
+}
+
+// Bit-exact comparison of two per-request snapshot sets (replay contract:
+// the reference evaluation is deterministic, so every field — including
+// the double-valued error sums — must reproduce exactly).
+bool accum_equal(const obs::ErrorAccum& a, const obs::ErrorAccum& b) {
+  return a.count == b.count && a.ref_sq == b.ref_sq && a.out_sq == b.out_sq &&
+         a.dot == b.dot && a.err_sq == b.err_sq && a.err_abs == b.err_abs &&
+         a.err_max == b.err_max;
+}
+
+bool snapshots_equal(const std::vector<obs::FidelityLayerSnapshot>& a,
+                     const std::vector<obs::FidelityLayerSnapshot>& b,
+                     std::string* why) {
+  if (a.size() != b.size()) {
+    *why = "layer count " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const obs::FidelityLayerSnapshot& x = a[i];
+    const obs::FidelityLayerSnapshot& y = b[i];
+    const std::string at =
+        "layer " + std::to_string(x.layer) + " (" + x.scheme + "): ";
+    if (x.scheme != y.scheme || x.layer != y.layer) {
+      *why = at + "cell identity mismatch";
+      return false;
+    }
+    if (x.calls != y.calls) {
+      *why = at + "calls differ";
+      return false;
+    }
+    if (x.threshold != y.threshold) {
+      *why = at + "threshold differs";
+      return false;
+    }
+    if (!accum_equal(x.total, y.total) || !accum_equal(x.predictor, y.predictor) ||
+        !accum_equal(x.sensitive, y.sensitive) ||
+        !accum_equal(x.insensitive, y.insensitive)) {
+      *why = at + "error accumulators differ";
+      return false;
+    }
+    if (x.hist_lo != y.hist_lo || x.hist_hi != y.hist_hi ||
+        x.hist != y.hist) {
+      *why = at + "predictor-magnitude histogram differs";
+      return false;
+    }
+  }
+  return true;
+}
+
+// --emit-baseline: per-sample calibration pass -> odq_quality_baseline JSON.
+int emit_baseline_main(const Options& opt) {
+  serve::ModelSession session = make_quality_session(opt, "odq", opt.threshold);
+  const tensor::Shape chw = input_chw_for(opt.model);
+
+  // Calibration inputs, evaluated one sample at a time: activation scales
+  // are per-tensor at run time, so a [N,...] batch would quantize under a
+  // different scale than serving's single-sample requests.
+  data::TrainTest digits_data;
+  if (opt.inputs == "digits") {
+    digits_data = data::make_synthetic_digits(opt.batch, 1);
+  } else if (opt.inputs != "uniform") {
+    std::fprintf(stderr, "odq_fidelity: unknown --inputs kind '%s'\n",
+                 opt.inputs.c_str());
+    return 2;
+  }
+
+  obs::FidelityScope scope;
+  for (std::int64_t id = 0; id < opt.batch; ++id) {
+    tensor::Tensor x;
+    if (opt.inputs == "uniform") {
+      x = data::make_request_input(opt.seed, static_cast<std::uint64_t>(id),
+                                   chw);
+    } else {
+      const tensor::Shape& ds = digits_data.train.images.shape();
+      const std::int64_t sample = ds[1] * ds[2] * ds[3];
+      x = tensor::Tensor(
+          tensor::Shape{1, ds[1], ds[2], ds[3]},
+          std::vector<float>(digits_data.train.images.data() + id * sample,
+                             digits_data.train.images.data() +
+                                 (id + 1) * sample));
+    }
+    (void)session.run(x);
+  }
+
+  obs::QualityBaseline base = obs::make_quality_baseline(scope.snapshot());
+  base.model = opt.model;
+  base.scheme = "odq";
+  base.width = opt.width;
+  base.threshold = opt.threshold;
+  base.inputs = opt.inputs;
+  base.seed = opt.seed;
+  base.batch = opt.batch;
+  const util::Status st = base.save(opt.emit_baseline);
+  if (!st.ok()) {
+    std::fprintf(stderr, "odq_fidelity: --emit-baseline: %s\n",
+                 st.message().c_str());
+    return 1;
+  }
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "odq_fidelity: baseline %s (%lld x %s requests, threshold "
+                 "%.3f, %zu layer(s))\n",
+                 opt.emit_baseline.c_str(), static_cast<long long>(opt.batch),
+                 opt.inputs.c_str(), static_cast<double>(opt.threshold),
+                 base.layers.size());
+    for (const obs::QualityBaselineLayer& l : base.layers) {
+      std::fprintf(stderr, "  layer %d: sensitive %.2f%%  sqnr %.1f dB\n",
+                   l.layer, 100.0 * l.sensitive_fraction, l.sqnr_db);
+    }
+  }
+  return 0;
+}
+
+// --replay: re-evaluate a flight dump and demand bit-identical stats.
+int replay_main(const Options& opt) {
+  util::StatusOr<obs::FlightDump> loaded =
+      obs::FlightRecorder::load(opt.replay);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "odq_fidelity: --replay: %s\n",
+                 loaded.status().message().c_str());
+    return 1;
+  }
+  const obs::FlightDump& dump = loaded.value();
+
+  Options ropt = opt;
+  ropt.model = dump.context.model;
+  ropt.width = dump.context.width;
+  if (ropt.checkpoint.empty()) ropt.checkpoint = dump.context.checkpoint;
+  serve::ModelSession session = make_quality_session(
+      ropt, dump.context.scheme, dump.context.threshold);
+
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "odq_fidelity: replaying %zu record(s) from %s "
+                 "(model %s, scheme %s, threshold %.3f)\n",
+                 dump.records.size(), opt.replay.c_str(),
+                 dump.context.model.c_str(), dump.context.scheme.c_str(),
+                 static_cast<double>(dump.context.threshold));
+  }
+  int failures = 0;
+  for (std::size_t i = 0; i < dump.records.size(); ++i) {
+    const obs::FlightRecord& rec = dump.records[i];
+    obs::FidelityScope scope;
+    (void)session.run(rec.input);
+    std::string why;
+    const bool ok = snapshots_equal(rec.layers, scope.snapshot(), &why);
+    if (!ok) ++failures;
+    if (!opt.quiet || !ok) {
+      std::fprintf(stderr,
+                   "  record %zu: request %llu (%s, layer %d, tv %.4f): %s%s\n",
+                   i, static_cast<unsigned long long>(rec.request_id),
+                   rec.reason.c_str(), rec.layer, rec.distance,
+                   ok ? "stats reproduced bit-identically" : "MISMATCH: ",
+                   ok ? "" : why.c_str());
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "odq_fidelity: --replay: %d of %zu record(s) "
+                 "diverged\n",
+                 failures, dump.records.size());
+    return 1;
+  }
+  if (!opt.quiet) {
+    std::fprintf(stderr, "odq_fidelity: replay OK (%zu record(s))\n",
+                 dump.records.size());
+  }
+  return 0;
+}
+
 // One measured sweep point.
 struct SweepPoint {
   float threshold = 0.0f;
@@ -158,6 +386,16 @@ int tool_main(int argc, char** argv) {
       opt.batch = std::atoll(next("--batch"));
     } else if (a == "--width") {
       opt.width = std::atoll(next("--width"));
+    } else if (a == "--checkpoint") {
+      opt.checkpoint = next("--checkpoint");
+    } else if (a == "--emit-baseline") {
+      opt.emit_baseline = next("--emit-baseline");
+    } else if (a == "--replay") {
+      opt.replay = next("--replay");
+    } else if (a == "--inputs") {
+      opt.inputs = next("--inputs");
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(next("--seed"), nullptr, 0);
     } else if (a == "--quiet") {
       opt.quiet = true;
     } else {
@@ -165,6 +403,8 @@ int tool_main(int argc, char** argv) {
     }
   }
   if (opt.batch <= 0 || opt.width <= 0) return usage();
+  if (!opt.replay.empty()) return replay_main(opt);
+  if (!opt.emit_baseline.empty()) return emit_baseline_main(opt);
   if (opt.sweep && opt.thresholds.empty()) {
     opt.thresholds = {0.0f,  0.05f, 0.1f, 0.15f,
                       0.2f,  0.3f,  0.5f, 0.8f};
@@ -175,6 +415,9 @@ int tool_main(int argc, char** argv) {
     int classes = 10;
     nn::Model model = build_model(opt, &classes);
     nn::kaiming_init(model, 1);
+    if (!opt.checkpoint.empty()) {
+      model.try_load(opt.checkpoint).throw_if_error();
+    }
     const std::size_t num_convs = model.assign_conv_ids().size();
 
     const bool digits = opt.model == "lenet" || opt.model == "lenet5";

@@ -48,6 +48,25 @@
 //                         measured latencies (must agree within one
 //                         histogram bucket) and that the exported snapshot
 //                         parses; failures exit 1
+//   --shadow-rate <n>     shadow-FP32 quality sampling: deterministically
+//                         route 1-in-n requests (by request index, seeded)
+//                         through a reference evaluation lane computing
+//                         per-layer SQNR / sensitive-fraction / drift
+//                         statistics (serve/shadow.hpp); 0 disables
+//   --drift-baseline <p>  odq_quality_baseline JSON (odq_fidelity
+//                         --emit-baseline) the drift detector compares
+//                         sampled windows against
+//   --drift-window <n>    sampled requests per drift-detection window
+//   --drift-tv <t>        histogram TV-distance alert threshold
+//   --flight-dump <p>     write the anomaly flight-recorder ring (input
+//                         tensors + per-layer stats of drift-flagged
+//                         requests) as a CRC-checked binary dump, replayable
+//                         via odq_fidelity --replay; written even when empty
+//   --drift-snapshot <p>  write the drift detector's per-layer summary JSON
+//   --input-shift <f>     add f to every input value — a deliberate
+//                         distribution shift for drift-detection tests
+//   --fail-on-drift       exit 1 if any drift alert fired
+//   --require-drift       exit 1 if NO drift alert fired (shift tests)
 //   --quiet               suppress the human-readable summary on stderr
 #include <cinttypes>
 #include <cmath>
@@ -63,14 +82,17 @@
 #include <algorithm>
 
 #include "core/odq.hpp"
+#include "data/synthetic.hpp"
 #include "nn/init.hpp"
 #include "nn/models.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quality.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/session.hpp"
+#include "serve/shadow.hpp"
 #include "tensor/tensor.hpp"
 #include "tool_main.hpp"
 #include "util/json.hpp"
@@ -107,6 +129,16 @@ struct Options {
   bool require_batching = false;
   bool check_telemetry = false;
   bool quiet = false;
+  // Shadow quality lane.
+  std::uint64_t shadow_rate = 0;
+  std::string drift_baseline;
+  std::string flight_dump;
+  std::string drift_snapshot;
+  std::int64_t drift_window = 8;
+  double drift_tv = 0.12;
+  float input_shift = 0.0f;
+  bool fail_on_drift = false;
+  bool require_drift = false;
 };
 
 int usage() {
@@ -121,7 +153,12 @@ int usage() {
       "                 [--seed s] [--verify] [--require-batching]\n"
       "                 [--json out.json] [--telemetry snap.json]\n"
       "                 [--telemetry-flush-ms n] [--slo-us n]\n"
-      "                 [--check-telemetry] [--quiet]\n");
+      "                 [--check-telemetry] [--quiet]\n"
+      "                 [--shadow-rate n] [--drift-baseline base.json]\n"
+      "                 [--drift-window n] [--drift-tv t]\n"
+      "                 [--flight-dump dump.bin] [--drift-snapshot out.json]\n"
+      "                 [--input-shift f] [--fail-on-drift] "
+      "[--require-drift]\n");
   return 2;
 }
 
@@ -161,12 +198,15 @@ std::unique_ptr<serve::ModelSession> make_session(const Options& opt) {
 }
 
 // Deterministic synthetic request: id -> [1,C,H,W] tensor, independent of
-// submission order (so the sequential verifier can regenerate it).
+// submission order (so the sequential verifier can regenerate it). Shared
+// with odq_fidelity --emit-baseline via data::make_request_input; the
+// optional --input-shift offsets every value to simulate drifted traffic.
 tensor::Tensor make_request_input(const Options& opt, std::uint64_t id,
                                   const tensor::Shape& chw) {
-  util::Rng rng(opt.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)));
-  tensor::Tensor x(tensor::Shape{1, chw[0], chw[1], chw[2]});
-  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
+  tensor::Tensor x = data::make_request_input(opt.seed, id, chw);
+  if (opt.input_shift != 0.0f) {
+    for (std::int64_t i = 0; i < x.numel(); ++i) x[i] += opt.input_shift;
+  }
   return x;
 }
 
@@ -228,6 +268,24 @@ int tool_main(int argc, char** argv) {
       opt.slo_us = std::atoll(next("--slo-us"));
     } else if (a == "--check-telemetry") {
       opt.check_telemetry = true;
+    } else if (a == "--shadow-rate") {
+      opt.shadow_rate = std::strtoull(next("--shadow-rate"), nullptr, 0);
+    } else if (a == "--drift-baseline") {
+      opt.drift_baseline = next("--drift-baseline");
+    } else if (a == "--drift-window") {
+      opt.drift_window = std::atoll(next("--drift-window"));
+    } else if (a == "--drift-tv") {
+      opt.drift_tv = std::strtod(next("--drift-tv"), nullptr);
+    } else if (a == "--flight-dump") {
+      opt.flight_dump = next("--flight-dump");
+    } else if (a == "--drift-snapshot") {
+      opt.drift_snapshot = next("--drift-snapshot");
+    } else if (a == "--input-shift") {
+      opt.input_shift = std::strtof(next("--input-shift"), nullptr);
+    } else if (a == "--fail-on-drift") {
+      opt.fail_on_drift = true;
+    } else if (a == "--require-drift") {
+      opt.require_drift = true;
     } else if (a == "--threshold") {
       opt.threshold = std::strtof(next("--threshold"), nullptr);
     } else if (a == "--width") {
@@ -291,12 +349,42 @@ int tool_main(int argc, char** argv) {
     exporter->start();
   }
 
+  // Shadow quality lane: one extra replica re-evaluating a deterministic
+  // 1-in-N sample of the live requests under fidelity instrumentation.
+  std::unique_ptr<serve::ShadowLane> shadow;
+  if (opt.shadow_rate > 0) {
+    serve::ShadowConfig scfg;
+    scfg.rate = opt.shadow_rate;
+    scfg.seed = opt.seed;
+    scfg.quality.drift_window = opt.drift_window;
+    scfg.quality.hist_drift_threshold = opt.drift_tv;
+    shadow = std::make_unique<serve::ShadowLane>(scfg, make_session(opt));
+    obs::FlightContext fctx;
+    fctx.model = opt.model;
+    fctx.scheme = opt.scheme;
+    fctx.checkpoint = opt.checkpoint;
+    fctx.width = opt.width;
+    fctx.threshold = opt.threshold;
+    shadow->monitor().flight().set_context(std::move(fctx));
+    if (!opt.drift_baseline.empty()) {
+      util::StatusOr<obs::QualityBaseline> base =
+          obs::QualityBaseline::load(opt.drift_baseline);
+      if (!base.ok()) {
+        std::fprintf(stderr, "odq_serve: --drift-baseline: %s\n",
+                     base.status().message().c_str());
+        return 1;
+      }
+      shadow->monitor().set_baseline(std::move(base.value()));
+    }
+  }
+
   serve::EngineConfig ecfg;
   ecfg.num_workers = opt.workers;
   ecfg.queue_capacity = static_cast<std::size_t>(opt.queue_cap);
   ecfg.max_batch = static_cast<std::size_t>(opt.max_batch);
   ecfg.flush_timeout_us = opt.flush_us;
   ecfg.slo_us = opt.slo_us;
+  ecfg.shadow = shadow.get();
   serve::ServeEngine engine(ecfg, [&](int worker_id) {
     std::unique_ptr<serve::ModelSession> s = make_session(opt);
     worker_execs[static_cast<std::size_t>(worker_id)] = s->executor();
@@ -329,7 +417,8 @@ int tool_main(int argc, char** argv) {
                 std::chrono::microseconds(arrival_rng.uniform_int(
                     0, static_cast<int>(2 * opt.arrival_us))));
           }
-          auto fut = engine.submit(make_request_input(opt, r, input_chw));
+          auto fut = engine.submit(make_request_input(opt, r, input_chw),
+                                   static_cast<std::uint64_t>(r));
           if (fut.ok()) {
             futures[static_cast<std::size_t>(r)] = std::move(*fut);
           } else {
@@ -351,6 +440,9 @@ int tool_main(int argc, char** argv) {
   }
   const double load_seconds = load_timer.seconds();
   engine.shutdown();
+  // Shadow drain before the telemetry drain flush, so every sampled
+  // request's quality series/counters make it into the final snapshot.
+  if (shadow != nullptr) shadow->stop();
   // Drain flush: everything recorded up to shutdown is on disk after this.
   if (exporter != nullptr) exporter->stop();
   const serve::EngineStats stats = engine.stats();
@@ -459,6 +551,50 @@ int tool_main(int argc, char** argv) {
     }
   }
 
+  // Shadow quality accounting. After stop() the lane has evaluated every
+  // sampled request it accepted, so (on an error-free run) the sample count
+  // must equal the count the deterministic predicate says — an exact
+  // cross-check that the sampler keyed on request indices, not engine ids.
+  std::int64_t shadow_expected = 0;
+  bool shadow_count_ok = true;
+  std::vector<obs::QualityMonitor::LayerSummary> quality_layers;
+  std::int64_t drift_alerts = 0;
+  if (shadow != nullptr) {
+    for (std::int64_t r = 0; r < n; ++r) {
+      if (shadow->sampled(static_cast<std::uint64_t>(r))) ++shadow_expected;
+    }
+    if (errors == 0 && stats.rejected == 0) {
+      shadow_count_ok =
+          shadow->samples() == static_cast<std::uint64_t>(shadow_expected) &&
+          shadow->evaluated() + shadow->dropped() == shadow->samples();
+    }
+    quality_layers = shadow->monitor().summary();
+    drift_alerts = shadow->monitor().drift_alerts();
+
+    if (!opt.flight_dump.empty()) {
+      const util::Status st = shadow->monitor().flight().dump(opt.flight_dump);
+      if (!st.ok()) {
+        std::fprintf(stderr, "odq_serve: --flight-dump: %s\n",
+                     st.message().c_str());
+        return 1;
+      }
+    }
+    if (!opt.drift_snapshot.empty()) {
+      util::JsonWriter w;
+      shadow->monitor().drift_snapshot_json(w);
+      std::FILE* f = std::fopen(opt.drift_snapshot.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "odq_serve: cannot open %s\n",
+                     opt.drift_snapshot.c_str());
+        return 1;
+      }
+      const std::string doc = w.take();
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+
   const double multi_frac =
       stats.batches > 0 ? static_cast<double>(stats.multi_request_batches) /
                               static_cast<double>(stats.batches)
@@ -501,6 +637,30 @@ int tool_main(int argc, char** argv) {
                    static_cast<long long>(verified),
                    bit_identical ? "bit-identical to sequential execution"
                                  : "DIVERGED from sequential execution");
+    }
+    if (shadow != nullptr) {
+      std::fprintf(stderr,
+                   "  shadow: 1-in-%" PRIu64 " sampling, %" PRIu64
+                   " sampled (expected %lld), %" PRIu64 " evaluated, %" PRIu64
+                   " dropped, %" PRIu64 " errors%s\n",
+                   opt.shadow_rate, shadow->samples(),
+                   static_cast<long long>(shadow_expected),
+                   shadow->evaluated(), shadow->dropped(), shadow->errors(),
+                   shadow_count_ok ? "" : "  COUNT MISMATCH");
+      std::fprintf(stderr, "  drift: %s baseline, %lld alert(s), %" PRIu64
+                   " flight record(s)\n",
+                   shadow->monitor().has_baseline() ? "with" : "no",
+                   static_cast<long long>(drift_alerts),
+                   shadow->monitor().flight().total_recorded());
+      for (const auto& l : quality_layers) {
+        std::fprintf(stderr,
+                     "    layer %d: %lld req, sensitive %.2f%% (baseline "
+                     "%.2f%%), sqnr %.1f dB, drift tv %.4f%s\n",
+                     l.layer, static_cast<long long>(l.requests),
+                     100.0 * l.sensitive_fraction, 100.0 * l.baseline_fraction,
+                     l.sqnr_db, l.drift_distance,
+                     l.drifted ? "  DRIFTED" : "");
+      }
     }
     if (!opt.telemetry_path.empty()) {
       std::fprintf(stderr,
@@ -577,6 +737,40 @@ int tool_main(int argc, char** argv) {
       w.kv("quantile_check", telemetry_quantile_check);
       w.end_object();
     }
+    if (shadow != nullptr) {
+      // Deterministic quality cells: sample counts come from the seeded
+      // predicate, per-layer fractions and TV distances from
+      // order-independent integer counts — identical across reruns of the
+      // same command (sqnr_db is double-merge order-dependent only at ulp
+      // scale, far inside the gate's 10% tolerance).
+      w.begin_object();
+      w.kv("section", "quality");
+      w.kv("model", opt.model);
+      w.kv("scheme", opt.scheme);
+      w.kv("shadow_rate", static_cast<std::int64_t>(opt.shadow_rate));
+      w.kv("shadow_samples", static_cast<std::int64_t>(shadow->samples()));
+      w.kv("shadow_evaluated",
+           static_cast<std::int64_t>(shadow->evaluated()));
+      w.kv("shadow_dropped", static_cast<std::int64_t>(shadow->dropped()));
+      w.kv("sample_count_ok", shadow_count_ok ? 1 : 0);
+      w.kv("has_baseline", shadow->monitor().has_baseline() ? 1 : 0);
+      w.kv("drift_alerts", drift_alerts);
+      w.end_object();
+      for (const auto& l : quality_layers) {
+        w.begin_object();
+        w.kv("section", "quality");
+        w.kv("model", opt.model);
+        w.kv("scheme", opt.scheme);
+        w.kv("layer", "conv" + std::to_string(l.layer));
+        w.kv("requests", l.requests);
+        w.kv("sensitive_fraction", l.sensitive_fraction);
+        w.kv("baseline_fraction", l.baseline_fraction);
+        w.kv("sqnr_db", l.sqnr_db);
+        w.kv("drift_distance", l.drift_distance);
+        w.kv("alerts", l.alerts);
+        w.end_object();
+      }
+    }
     w.end_array();
     w.end_object();
 
@@ -605,6 +799,26 @@ int tool_main(int argc, char** argv) {
     std::fprintf(stderr,
                  "odq_serve: --require-batching: every batch carried a "
                  "single request\n");
+    return 1;
+  }
+  if (shadow != nullptr && !shadow_count_ok) {
+    std::fprintf(stderr,
+                 "odq_serve: shadow sample accounting mismatch: %" PRIu64
+                 " sampled vs %lld expected, %" PRIu64 " evaluated + %" PRIu64
+                 " dropped\n",
+                 shadow->samples(), static_cast<long long>(shadow_expected),
+                 shadow->evaluated(), shadow->dropped());
+    return 1;
+  }
+  if (opt.fail_on_drift && drift_alerts > 0) {
+    std::fprintf(stderr, "odq_serve: --fail-on-drift: %lld drift alert(s)\n",
+                 static_cast<long long>(drift_alerts));
+    return 1;
+  }
+  if (opt.require_drift && drift_alerts == 0) {
+    std::fprintf(stderr,
+                 "odq_serve: --require-drift: no drift alert fired on the "
+                 "shifted stream\n");
     return 1;
   }
   return 0;

@@ -19,9 +19,17 @@
 //   --json              emit the parsed snapshot back as JSON on stdout
 //                       instead of the table (scripting/ctest; implies the
 //                       same validation as the table path)
+//   --section <prefix>  only render series/counters whose name starts with
+//                       <prefix> (e.g. --section quality, --section serve.)
+//
+// Series under the quality.* namespace (the shadow lane's per-layer drift
+// statistics, recorded in scaled integer units — basis points for
+// fractions/TV distance, centi-dB for SQNR) additionally get a decoded
+// per-layer table.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +46,7 @@ using namespace odq;
 
 struct Options {
   std::string snapshot;
+  std::string section;
   std::int64_t interval_ms = 500;
   std::int64_t iterations = 0;
   bool once = false;
@@ -47,8 +56,13 @@ struct Options {
 int usage() {
   std::fprintf(stderr,
                "usage: odq_top [--snapshot snap.json] [--interval-ms n]\n"
-               "               [--iterations n] [--once] [--json]\n");
+               "               [--iterations n] [--once] [--json]\n"
+               "               [--section prefix]\n");
   return 2;
+}
+
+bool in_section(const std::string& name, const std::string& prefix) {
+  return prefix.empty() || name.compare(0, prefix.size(), prefix) == 0;
 }
 
 // Re-serialize a parsed document (std::map keys iterate sorted, which is
@@ -107,7 +121,62 @@ util::Status validate(const util::JsonValue& doc) {
   return util::Status::Ok();
 }
 
-void render(const util::JsonValue& doc) {
+// Decoded per-layer view of the quality.* series: the shadow lane records
+// scaled integers (basis points / centi-dB), so the raw table is hard to
+// eyeball; this one undoes the scaling.
+void render_quality(const util::JsonValue& doc) {
+  if (!doc.has("series") ||
+      doc.at("series").kind != util::JsonValue::Kind::kObject) {
+    return;
+  }
+  struct Row {
+    double samples = -1.0;
+    double sensitive_pct = -1.0;  // negative = metric absent
+    double sqnr_db = -1.0;
+    double drift_tv = -1.0;
+  };
+  std::map<std::string, Row> rows;  // by layer suffix ("layer0", ...)
+  for (const auto& [name, s] : doc.at("series").obj) {
+    static const std::string kPrefix = "quality.";
+    if (!in_section(name, kPrefix)) continue;
+    const std::size_t dot = name.rfind('.');
+    if (dot == std::string::npos || dot < kPrefix.size()) continue;
+    const std::string metric = name.substr(kPrefix.size(), dot - kPrefix.size());
+    const std::string layer = name.substr(dot + 1);
+    if (!s.has("total")) continue;
+    const util::JsonValue& total = s.at("total");
+    Row& row = rows[layer];
+    if (metric == "sensitive_fraction") {
+      row.samples = num_or(total, "count", 0);
+      row.sensitive_pct = num_or(total, "mean", 0) / 100.0;  // bp -> %
+    } else if (metric == "sqnr_db") {
+      row.sqnr_db = num_or(total, "mean", 0) / 100.0;  // centi-dB -> dB
+    } else if (metric == "drift_distance") {
+      row.drift_tv = num_or(total, "mean", 0) / 10000.0;  // bp -> [0,1]
+    }
+  }
+  if (rows.empty()) return;
+  std::printf("%-28s %9s %11s %9s %9s\n", "quality (decoded means)",
+              "samples", "sensitive%", "sqnr dB", "drift tv");
+  for (const auto& [layer, row] : rows) {
+    auto cell = [](double v, const char* fmt, char* buf, std::size_t n) {
+      if (v < 0.0) {
+        std::snprintf(buf, n, "-");
+      } else {
+        std::snprintf(buf, n, fmt, v);
+      }
+      return buf;
+    };
+    char a[32], b[32], c[32], d[32];
+    std::printf("%-28s %9s %11s %9s %9s\n", layer.c_str(),
+                cell(row.samples, "%.0f", a, sizeof a),
+                cell(row.sensitive_pct, "%.2f", b, sizeof b),
+                cell(row.sqnr_db, "%.1f", c, sizeof c),
+                cell(row.drift_tv, "%.4f", d, sizeof d));
+  }
+}
+
+void render(const util::JsonValue& doc, const std::string& section) {
   std::printf("odq_top — flush #%.0f   generated %.3f s   trace drops %.0f\n",
               num_or(doc, "flush_seq", 0),
               num_or(doc, "generated_us", 0) / 1e6,
@@ -119,9 +188,19 @@ void render(const util::JsonValue& doc) {
     std::printf("%-28s %-6s %9s %10s %8s %8s %8s %8s\n", "series", "win",
                 "count", "mean", "p50", "p95", "p99", "p999");
     for (const auto& [name, s] : doc.at("series").obj) {
+      if (!in_section(name, section)) continue;
       bool first = true;
       for (const std::string& win : kWindows) {
-        if (!s.has(win)) continue;
+        // A window object can legitimately be absent (e.g. a series added
+        // by a newer writer, or pruned windows): keep the row aligned with
+        // a placeholder instead of silently dropping it.
+        if (!s.has(win)) {
+          std::printf("%-28s %-6s %9s %10s %8s %8s %8s %8s\n",
+                      first ? name.c_str() : "", win.c_str(), "-", "-", "-",
+                      "-", "-", "-");
+          first = false;
+          continue;
+        }
         const util::JsonValue& ws = s.at(win);
         std::printf("%-28s %-6s %9.0f %10.1f %8.0f %8.0f %8.0f %8.0f\n",
                     first ? name.c_str() : "", win.c_str(),
@@ -135,13 +214,21 @@ void render(const util::JsonValue& doc) {
   if (doc.has("counters") &&
       doc.at("counters").kind == util::JsonValue::Kind::kObject &&
       !doc.at("counters").obj.empty()) {
-    std::printf("%-28s %12s %9s %9s %9s\n", "counter", "total", "1s", "10s",
-                "60s");
+    bool header = false;
     for (const auto& [name, c] : doc.at("counters").obj) {
+      if (!in_section(name, section)) continue;
+      if (!header) {
+        std::printf("%-28s %12s %9s %9s %9s\n", "counter", "total", "1s",
+                    "10s", "60s");
+        header = true;
+      }
       std::printf("%-28s %12.0f %9.0f %9.0f %9.0f\n", name.c_str(),
                   num_or(c, "total", 0), num_or(c, "1s", 0),
                   num_or(c, "10s", 0), num_or(c, "60s", 0));
     }
+  }
+  if (in_section("quality.", section) || in_section(section, "quality")) {
+    render_quality(doc);
   }
 }
 
@@ -168,6 +255,8 @@ int tool_main(int argc, char** argv) {
       opt.once = true;
     } else if (a == "--json") {
       opt.json = true;
+    } else if (a == "--section") {
+      opt.section = next("--section");
     } else {
       return usage();
     }
@@ -192,7 +281,7 @@ int tool_main(int argc, char** argv) {
         std::printf("%s\n", w.take().c_str());
       } else {
         if (!opt.once) std::printf("\033[2J\033[H");  // clear in live mode
-        render(*parsed);
+        render(*parsed, opt.section);
       }
       std::fflush(stdout);
       ++renders;
