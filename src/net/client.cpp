@@ -1,0 +1,237 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/fault.hpp"
+
+namespace odq::net {
+
+using util::Status;
+using util::StatusCode;
+using util::StatusOr;
+
+namespace {
+
+constexpr auto kNoBudget = std::chrono::steady_clock::time_point::max();
+
+// Inference is side-effect free, so "safe to retry" reduces to "retrying
+// could plausibly succeed": transient refusals and transport damage yes,
+// deterministic rejections and spent budgets no.
+bool retryable(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIoError:
+    case StatusCode::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int64_t remaining_us(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             deadline - std::chrono::steady_clock::now())
+      .count();
+}
+
+}  // namespace
+
+NetClient::NetClient(ClientConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+Status NetClient::ensure_connected() {
+  if (sock_.valid()) return Status::Ok();
+  auto connected = connect_local(cfg_.port, cfg_.connect_timeout_ms);
+  if (!connected.ok()) return connected.status();
+  sock_ = std::move(connected.value());
+  sock_.set_read_timeout_ms(cfg_.read_timeout_ms);
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+void NetClient::drop_connection() { sock_.close(); }
+
+Status NetClient::send_request_frame(
+    const WireRequest& req, std::chrono::steady_clock::time_point deadline) {
+  (void)deadline;
+  std::vector<std::uint8_t> payload;
+  encode_request(req, &payload);
+  if (util::fault_fire("net.slowloris")) {
+    // Dribble half the frame, stall past any sane server receive timeout,
+    // then try to finish — from the server's side this is a mid-frame
+    // stall and the connection should be killed, not waited on.
+    std::vector<std::uint8_t> bytes;
+    encode_frame(FrameType::kInferRequest, payload.data(), payload.size(),
+                 &bytes);
+    const std::size_t half = bytes.size() / 2;
+    Status s = sock_.write_all(bytes.data(), half);
+    if (!s.ok()) return s;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg_.slowloris_stall_ms));
+    return sock_.write_all(bytes.data() + half, bytes.size() - half);
+  }
+  return write_frame(sock_, FrameType::kInferRequest, payload.data(),
+                     payload.size());
+}
+
+StatusOr<WireResponse> NetClient::read_response() {
+  for (;;) {
+    Frame frame;
+    Status st;
+    const ReadOutcome outcome = read_frame(sock_, &frame, &st);
+    switch (outcome) {
+      case ReadOutcome::kIdleTimeout:
+        return Status(StatusCode::kIoError,
+                      "timed out waiting for response");
+      case ReadOutcome::kPeerClosed:
+        return Status(StatusCode::kIoError,
+                      "server closed the connection");
+      case ReadOutcome::kError:
+        return st;
+      case ReadOutcome::kFrame:
+        break;
+    }
+    if (frame.type != FrameType::kInferResponse) continue;  // stray frame
+    WireResponse res;
+    Status s = decode_response(frame.payload.data(), frame.payload.size(),
+                               &res);
+    if (!s.ok()) return s;
+    return res;
+  }
+}
+
+StatusOr<WireResponse> NetClient::infer(
+    const WireRequest& req, std::chrono::steady_clock::time_point deadline) {
+  ++stats_.requests;
+  Status last(StatusCode::kUnavailable, "no attempt made");
+  for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      // Jittered exponential backoff: base * 2^(attempt-1), capped, then
+      // jittered into [1/2, 1]x so synchronized clients desynchronize.
+      std::int64_t delay_ms = cfg_.backoff_base_ms << (attempt - 1);
+      delay_ms = std::min(delay_ms, cfg_.backoff_max_ms);
+      if (delay_ms > 0) {
+        const std::int64_t half = delay_ms / 2;
+        delay_ms = half + static_cast<std::int64_t>(rng_.uniform_u64(
+                              static_cast<std::uint64_t>(delay_ms - half) +
+                              1));
+      }
+      if (deadline != kNoBudget &&
+          remaining_us(deadline) <= delay_ms * 1000) {
+        ++stats_.deadline_give_ups;
+        return Status(StatusCode::kDeadlineExceeded,
+                      "retry budget exhausted; last error: " +
+                          last.to_string());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    if (deadline != kNoBudget && remaining_us(deadline) <= 0) {
+      ++stats_.deadline_give_ups;
+      return Status(StatusCode::kDeadlineExceeded,
+                    "deadline passed before send; last error: " +
+                        last.to_string());
+    }
+    ++stats_.attempts;
+    Status s = ensure_connected();
+    if (!s.ok()) {
+      last = s;
+      drop_connection();
+      continue;  // connect failures are always retryable
+    }
+    // Refresh the relative deadline each attempt: the server sheds with
+    // whatever budget is actually left, not the original one.
+    WireRequest attempt_req = req;
+    if (deadline != kNoBudget) {
+      attempt_req.deadline_us = std::max<std::int64_t>(
+          1, remaining_us(deadline));
+    }
+    s = send_request_frame(attempt_req, deadline);
+    if (!s.ok()) {
+      last = s;
+      drop_connection();
+      if (retryable(s)) continue;
+      return s;
+    }
+    auto response = read_response();
+    if (!response.ok()) {
+      last = response.status();
+      drop_connection();  // stream state is unknown: start clean
+      if (retryable(last)) continue;
+      return last;
+    }
+    WireResponse res = std::move(response.value());
+    if (res.code != 0) {
+      Status rs(static_cast<StatusCode>(res.code), res.message);
+      if (retryable(rs)) {  // connection is fine, the request was refused
+        last = rs;
+        continue;
+      }
+      return rs;
+    }
+    return res;
+  }
+  return last;
+}
+
+StatusOr<WireHealth> NetClient::health() {
+  Status s = ensure_connected();
+  if (!s.ok()) return s;
+  s = write_frame(sock_, FrameType::kHealthRequest, nullptr, 0);
+  if (!s.ok()) {
+    drop_connection();
+    return s;
+  }
+  for (;;) {
+    Frame frame;
+    Status st;
+    const ReadOutcome outcome = read_frame(sock_, &frame, &st);
+    if (outcome == ReadOutcome::kFrame) {
+      if (frame.type != FrameType::kHealthResponse) continue;
+      WireHealth h;
+      st = decode_health(frame.payload.data(), frame.payload.size(), &h);
+      if (!st.ok()) {
+        drop_connection();
+        return st;
+      }
+      return h;
+    }
+    drop_connection();
+    if (outcome == ReadOutcome::kError) return st;
+    return Status(StatusCode::kIoError, "no health response");
+  }
+}
+
+Status NetClient::send_shutdown() {
+  Status s = ensure_connected();
+  if (!s.ok()) return s;
+  s = write_frame(sock_, FrameType::kShutdown, nullptr, 0);
+  if (!s.ok()) {
+    drop_connection();
+    return s;
+  }
+  // The ack arrives only after every in-flight request on this connection
+  // has been answered — reading it IS the drain barrier.
+  for (;;) {
+    Frame frame;
+    Status st;
+    const ReadOutcome outcome = read_frame(sock_, &frame, &st);
+    if (outcome == ReadOutcome::kFrame) {
+      if (frame.type == FrameType::kShutdown) {
+        drop_connection();
+        return Status::Ok();
+      }
+      continue;  // responses for earlier requests drain first
+    }
+    drop_connection();
+    if (outcome == ReadOutcome::kError) return st;
+    return Status(StatusCode::kIoError,
+                  "connection ended before shutdown ack");
+  }
+}
+
+}  // namespace odq::net

@@ -1,0 +1,110 @@
+// NetClient: synchronous serving client with deadline-budgeted retries.
+//
+// One client owns one connection (lazily opened, transparently reopened)
+// and runs strict request/response: send a frame, read frames until the
+// matching kInferResponse arrives. All failures are typed Status; the
+// retry loop decides what is safe to try again:
+//
+//   RETRIED (idempotent-safe — inference has no side effects, and these
+//   codes mean either "never executed" or "transport damage"):
+//     kUnavailable        queue full / engine shutting down / load shed
+//     kResourceExhausted  tenant admission limit — backs off and retries
+//     kIoError            connect / send / recv failure (reconnects first)
+//     kCorruption         frame-level damage on the stream (reconnects) —
+//                         the net.frame_crc drill lands here
+//
+//   NOT RETRIED (retrying cannot help, or the budget is gone):
+//     kInvalidArgument, kFailedPrecondition (version skew),
+//     kDeadlineExceeded, kNotFound
+//
+// Backoff is jittered exponential (base * 2^attempt, uniformly jittered
+// to [1/2, 1]x, capped), driven by a seeded util::Rng so a fixed seed
+// gives a reproducible retry schedule. Every sleep is clamped to the
+// remaining deadline budget; when the budget cannot cover another attempt
+// the client returns kDeadlineExceeded itself.
+//
+// Fault site `net.slowloris` (docs/serving.md): the nth infer send
+// dribbles the first half of the request frame, stalls past the server's
+// receive timeout, then tries to finish — exercising the server's
+// mid-frame timeout kill from a real client.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace odq::net {
+
+struct ClientConfig {
+  std::uint16_t port = 0;
+  std::int64_t connect_timeout_ms = 2000;
+  // Receive timeout per read while waiting for a response.
+  std::int64_t read_timeout_ms = 5000;
+  int max_attempts = 4;             // 1 initial + up to 3 retries
+  std::int64_t backoff_base_ms = 5;  // first retry delay (pre-jitter)
+  std::int64_t backoff_max_ms = 200;
+  std::uint64_t seed = 1;  // jitter rng seed (reproducible schedules)
+  // How long the net.slowloris fault stalls mid-frame.
+  std::int64_t slowloris_stall_ms = 1500;
+};
+
+struct ClientStats {
+  std::uint64_t requests = 0;   // infer() calls
+  std::uint64_t attempts = 0;   // wire-level tries (>= requests)
+  std::uint64_t retries = 0;    // attempts beyond the first
+  std::uint64_t reconnects = 0;
+  std::uint64_t deadline_give_ups = 0;  // budget died before an answer
+};
+
+class NetClient {
+ public:
+  explicit NetClient(ClientConfig cfg);
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Send one inference request and wait for its response. `deadline` is
+  // both the retry budget here and (converted to a relative budget at
+  // each send) the server-side shed point. A response whose own code is
+  // an error comes back as that Status, after the retry policy has had
+  // its chance. kNoDeadline (time_point::max()) disables the budget.
+  util::StatusOr<WireResponse> infer(
+      const WireRequest& req,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
+
+  // One health probe round-trip (no retries — probes are cheap and the
+  // caller polls anyway).
+  util::StatusOr<WireHealth> health();
+
+  // Clean-stop handshake: send kShutdown, wait for the server's empty
+  // kShutdown ack (which arrives only after every in-flight request on
+  // this connection has been answered).
+  util::Status send_shutdown();
+
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  util::Status ensure_connected();
+  util::Status send_request_frame(const WireRequest& req,
+                                  std::chrono::steady_clock::time_point
+                                      deadline);
+  // Read frames until a kInferResponse arrives (health responses for
+  // interleaved probes are impossible here: one outstanding request).
+  util::StatusOr<WireResponse> read_response();
+  void drop_connection();
+
+  ClientConfig cfg_;
+  Socket sock_;
+  util::Rng rng_;
+  ClientStats stats_;
+  bool ever_connected_ = false;
+};
+
+}  // namespace odq::net

@@ -1,0 +1,183 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "util/crc32.hpp"
+#include "util/fault.hpp"
+
+namespace odq::net {
+
+using util::Status;
+using util::StatusCode;
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+Status corruption(const char* what) {
+  return Status(StatusCode::kCorruption, what);
+}
+
+// Read exactly `len` bytes. Outcomes mirror read_frame's taxonomy via the
+// returned code: kOk, or kUnavailable (clean EOF before any byte — only
+// meaningful when allow_eof), kCorruption (EOF mid-read), kIoError
+// (failure / timeout; sock.would_block_last() says which).
+Status read_exact(Socket& sock, std::uint8_t* buf, std::size_t len,
+                  bool* clean_eof, bool* idle_timeout) {
+  *clean_eof = false;
+  *idle_timeout = false;
+  std::size_t got = 0;
+  while (got < len) {
+    std::size_t n = 0;
+    const Status s = sock.read_some(buf + got, len - got, &n);
+    if (!s.ok()) {
+      if (sock.would_block_last() && got == 0) {
+        *idle_timeout = true;
+        return s;
+      }
+      // A timeout with a partial frame on the floor is the slowloris
+      // signature — surface it as the hard error it is.
+      return s;
+    }
+    if (n == 0) {
+      if (got == 0) {
+        *clean_eof = true;
+        return corruption("peer closed");
+      }
+      return corruption("truncated frame: peer closed mid-frame");
+    }
+    got += n;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void encode_frame(FrameType type, const void* payload, std::size_t len,
+                  std::vector<std::uint8_t>* out) {
+  const std::size_t base = out->size();
+  out->resize(base + kFrameHeaderBytes + len + kFrameTrailerBytes);
+  std::uint8_t* h = out->data() + base;
+  put_u32(h, kFrameMagic);
+  h[4] = static_cast<std::uint8_t>(type);
+  h[5] = 0;
+  put_u16(h + 6, 0);
+  put_u32(h + 8, static_cast<std::uint32_t>(len));
+  put_u32(h + 12, util::crc32(h, 12));
+  std::uint8_t* body = h + kFrameHeaderBytes;
+  if (len > 0) std::memcpy(body, payload, len);
+  put_u32(body + len, util::crc32(body, len));
+  // Silent-corruption drill: flip one payload bit after both CRCs are in
+  // place, so the receiver — never the sender — detects it.
+  if (len > 0 && util::fault_fire("net.frame_crc")) {
+    body[0] ^= 0x01;
+  }
+}
+
+Status decode_frame(const std::uint8_t* data, std::size_t len, Frame* out,
+                    std::size_t* consumed, std::size_t max_payload) {
+  *consumed = 0;
+  if (len < kFrameHeaderBytes) return corruption("truncated frame header");
+  if (get_u32(data) != kFrameMagic) return corruption("bad frame magic");
+  if (get_u32(data + 12) != util::crc32(data, 12)) {
+    return corruption("bad frame header crc");
+  }
+  const std::uint8_t type = data[4];
+  if (type < static_cast<std::uint8_t>(FrameType::kInferRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    return corruption("unknown frame type");
+  }
+  if (data[5] != 0 || data[6] != 0 || data[7] != 0) {
+    return corruption("nonzero reserved frame bits");
+  }
+  const std::uint32_t payload_len = get_u32(data + 8);
+  if (payload_len > max_payload) return corruption("oversized frame payload");
+  const std::size_t total =
+      kFrameHeaderBytes + payload_len + kFrameTrailerBytes;
+  if (len < total) return corruption("truncated frame payload");
+  const std::uint8_t* body = data + kFrameHeaderBytes;
+  if (get_u32(body + payload_len) != util::crc32(body, payload_len)) {
+    return corruption("bad frame payload crc");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(body, body + payload_len);
+  *consumed = total;
+  return Status::Ok();
+}
+
+Status write_frame(Socket& sock, FrameType type, const void* payload,
+                   std::size_t len) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kFrameHeaderBytes + len + kFrameTrailerBytes);
+  encode_frame(type, payload, len, &buf);
+  return sock.write_all(buf.data(), buf.size());
+}
+
+ReadOutcome read_frame(Socket& sock, Frame* out, util::Status* status,
+                       std::size_t max_payload) {
+  std::uint8_t header[kFrameHeaderBytes];
+  bool clean_eof = false;
+  bool idle = false;
+  Status s = read_exact(sock, header, sizeof(header), &clean_eof, &idle);
+  if (!s.ok()) {
+    if (clean_eof) return ReadOutcome::kPeerClosed;
+    if (idle) return ReadOutcome::kIdleTimeout;
+    *status = s;
+    return ReadOutcome::kError;
+  }
+  // Validate the header before trusting payload_len — a garbage stream
+  // costs 16 bytes of reads, never an attacker-chosen allocation.
+  if (get_u32(header) != kFrameMagic) {
+    *status = corruption("bad frame magic");
+    return ReadOutcome::kError;
+  }
+  if (get_u32(header + 12) != util::crc32(header, 12)) {
+    *status = corruption("bad frame header crc");
+    return ReadOutcome::kError;
+  }
+  const std::uint32_t payload_len = get_u32(header + 8);
+  if (payload_len > max_payload) {
+    *status = corruption("oversized frame payload");
+    return ReadOutcome::kError;
+  }
+  std::vector<std::uint8_t> rest(payload_len + kFrameTrailerBytes);
+  s = read_exact(sock, rest.data(), rest.size(), &clean_eof, &idle);
+  if (!s.ok()) {
+    // EOF or timeout inside a frame is never clean — a dribbling peer
+    // (slowloris) lands here once the receive timeout expires.
+    *status = s;
+    return ReadOutcome::kError;
+  }
+  // Re-assemble through the shared validator so socket and in-memory
+  // decode paths can never drift.
+  std::vector<std::uint8_t> whole;
+  whole.reserve(sizeof(header) + rest.size());
+  whole.insert(whole.end(), header, header + sizeof(header));
+  whole.insert(whole.end(), rest.begin(), rest.end());
+  std::size_t consumed = 0;
+  s = decode_frame(whole.data(), whole.size(), out, &consumed, max_payload);
+  if (!s.ok()) {
+    *status = s;
+    return ReadOutcome::kError;
+  }
+  return ReadOutcome::kFrame;
+}
+
+}  // namespace odq::net

@@ -1,0 +1,88 @@
+// Length-prefixed, CRC32-protected wire frames for the serving protocol.
+//
+// Layout (all integers little-endian):
+//
+//   u32 magic        0x46514F44 ("ODQF")
+//   u8  type         FrameType
+//   u8  flags        0 (reserved)
+//   u16 reserved     0
+//   u32 payload_len  <= max_payload (default 16 MiB)
+//   u32 header_crc   CRC32 over the preceding 12 bytes
+//   payload          payload_len bytes
+//   u32 payload_crc  CRC32 over the payload
+//
+// The header carries its own CRC so a desynced or garbage stream is
+// detected after at most 16 bytes — the decoder never trusts payload_len
+// from an unvalidated header, which is what bounds over-read on corrupt
+// input. Every decode failure is a typed util::Status (kCorruption for
+// bad magic / CRC / oversize / truncation, kIoError for transport
+// failures); nothing in this layer throws or crashes on hostile bytes.
+//
+// Fault site (docs/robustness.md): `net.frame_crc` — the nth encoded
+// frame lands with bit 0 of payload byte 0 flipped *after* the CRCs were
+// computed, so the sender succeeds and only the receiver notices (the
+// silent-corruption drill, same idiom as ckpt.bitflip).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "util/status.hpp"
+
+namespace odq::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46514F44;  // "ODQF"
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+inline constexpr std::size_t kFrameTrailerBytes = 4;
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kInferRequest = 1,
+  kInferResponse = 2,
+  kHealthRequest = 3,
+  kHealthResponse = 4,
+  // Admin: drain everything in flight, ack with an empty kShutdown frame,
+  // then exit — the multi-process driver's clean-stop handshake.
+  kShutdown = 5,
+};
+
+struct Frame {
+  FrameType type = FrameType::kInferRequest;
+  std::vector<std::uint8_t> payload;
+};
+
+// Append one encoded frame to `out`.
+void encode_frame(FrameType type, const void* payload, std::size_t len,
+                  std::vector<std::uint8_t>* out);
+
+// Decode one frame from the front of [data, data+len). On success sets
+// *consumed to the full frame size. Typed failures (nothing consumed):
+//   kCorruption — bad magic, bad header/payload CRC, oversized
+//                 payload_len, or `len` shorter than the frame (truncation)
+// The decoder never reads past data+len.
+util::Status decode_frame(const std::uint8_t* data, std::size_t len,
+                          Frame* out, std::size_t* consumed,
+                          std::size_t max_payload = kMaxFramePayload);
+
+// Socket transport. write_frame encodes and writes atomically from the
+// caller's point of view (one write_all).
+util::Status write_frame(Socket& sock, FrameType type, const void* payload,
+                         std::size_t len);
+
+enum class ReadOutcome {
+  kFrame,        // *out holds a validated frame
+  kPeerClosed,   // clean EOF at a frame boundary
+  kIdleTimeout,  // receive timeout with zero bytes read — caller may retry
+  kError,        // *status holds the typed failure:
+                 //   kCorruption  garbage / truncated / CRC mismatch
+                 //   kIoError     transport failure, or a mid-frame receive
+                 //                timeout (the slowloris defense: a peer
+                 //                that stalls inside a frame is cut off)
+};
+
+ReadOutcome read_frame(Socket& sock, Frame* out, util::Status* status,
+                       std::size_t max_payload = kMaxFramePayload);
+
+}  // namespace odq::net

@@ -1,0 +1,373 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "net/wire.hpp"
+#include "util/logging.hpp"
+
+namespace odq::net {
+
+using util::Status;
+using util::StatusCode;
+
+namespace {
+
+// Build the encoded frame for an error (or shed) infer response.
+std::vector<std::uint8_t> error_response_frame(std::uint64_t client_req_id,
+                                               const Status& status) {
+  WireResponse res;
+  res.client_req_id = client_req_id;
+  res.code = static_cast<std::uint8_t>(status.code());
+  res.message = status.message().substr(0, kMaxWireMessageBytes);
+  std::vector<std::uint8_t> payload;
+  encode_response(res, &payload);
+  std::vector<std::uint8_t> frame;
+  encode_frame(FrameType::kInferResponse, payload.data(), payload.size(),
+               &frame);
+  return frame;
+}
+
+double us_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+NetServer::NetServer(serve::ServeFrontEnd& frontend, ServerConfig cfg)
+    : frontend_(frontend), cfg_(std::move(cfg)) {}
+
+NetServer::~NetServer() { shutdown(); }
+
+Status NetServer::start() {
+  Status s = listener_.bind_and_listen(cfg_.port);
+  if (!s.ok()) return s;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return Status::Ok();
+}
+
+void NetServer::accept_loop() {
+  for (;;) {
+    auto accepted = listener_.accept();
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kUnavailable) break;
+      // One failed accept (including the net.accept fault site) never
+      // stops the server.
+      ODQ_LOG_WARN("net: accept failed: %s",
+                   accepted.status().to_string().c_str());
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.accept_errors;
+      }
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(accepted.value());
+    conn->sock.set_read_timeout_ms(cfg_.read_timeout_ms);
+    Connection* c = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      reap_finished_locked();
+      conns_.push_back(std::move(conn));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections;
+    }
+    c->reader = std::thread([this, c] { reader_loop(c); });
+    c->writer = std::thread([this, c] { writer_loop(c); });
+  }
+}
+
+void NetServer::reader_loop(Connection* conn) {
+  std::int64_t idle_ms = 0;
+  for (;;) {
+    Frame frame;
+    Status st;
+    const ReadOutcome outcome =
+        read_frame(conn->sock, &frame, &st, cfg_.max_payload);
+    if (outcome == ReadOutcome::kIdleTimeout) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      idle_ms += cfg_.read_timeout_ms;
+      if (cfg_.idle_timeout_ms > 0 && idle_ms >= cfg_.idle_timeout_ms) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.idle_closes;
+        break;
+      }
+      continue;  // idle between frames is not an error
+    }
+    idle_ms = 0;
+    if (outcome == ReadOutcome::kPeerClosed) break;
+    if (outcome == ReadOutcome::kError) {
+      // Garbage, CRC damage, or a mid-frame stall (slowloris): the stream
+      // is unrecoverable. Stop reading; the writer still drains whatever
+      // was already admitted.
+      ODQ_LOG_WARN("net: connection read error: %s", st.to_string().c_str());
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (st.code() == StatusCode::kCorruption) {
+        ++stats_.decode_errors;
+      }
+      ++stats_.io_closes;
+      break;
+    }
+    handle_frame(conn, frame);
+    if (frame.type == FrameType::kShutdown) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->reader_done = true;
+  }
+  conn->cv.notify_all();
+  if (conn->exited.fetch_add(1, std::memory_order_acq_rel) + 1 == 2) {
+    conn->done.store(true, std::memory_order_release);
+  }
+}
+
+void NetServer::handle_frame(Connection* conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kInferRequest: {
+      WireRequest req;
+      Status s = decode_request(frame.payload.data(), frame.payload.size(),
+                                &req);
+      if (!s.ok()) {
+        // The frame CRC held, so the framing is intact and the connection
+        // can keep serving — answer this one request with its typed error
+        // (client_req_id unknown: 0).
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.decode_errors;
+        }
+        push_control(conn, error_response_frame(0, s));
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.requests;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      serve::SubmitOptions opts;
+      opts.tag = req.tag == 0 ? serve::kNoRequestTag : req.tag;
+      if (req.deadline_us > 0) {
+        opts.deadline = now + std::chrono::microseconds(req.deadline_us);
+      }
+      const std::string& tenant =
+          req.tenant.empty() ? cfg_.default_tenant : req.tenant;
+      auto submitted = frontend_.submit(std::move(req.input), tenant, opts);
+      if (!submitted.ok()) {
+        push_control(conn,
+                     error_response_frame(req.client_req_id,
+                                          submitted.status()));
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        Connection::Reply reply;
+        reply.client_req_id = req.client_req_id;
+        reply.start = now;
+        reply.future = std::move(submitted.value());
+        conn->replies.push_back(std::move(reply));
+      }
+      conn->cv.notify_all();
+      return;
+    }
+    case FrameType::kHealthRequest: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.health_probes;
+      }
+      const auto snap = frontend_.snapshot();
+      WireHealth h;
+      h.ready = snap.ready && !stopping_.load(std::memory_order_relaxed);
+      h.draining =
+          snap.draining || stopping_.load(std::memory_order_relaxed);
+      h.degrade_level = static_cast<std::uint32_t>(snap.degrade_level);
+      h.queue_depth = snap.backlog;
+      h.accepted = snap.accepted;
+      h.rejected = snap.rejected;
+      h.shed = snap.shed;
+      std::vector<std::uint8_t> payload;
+      encode_health(h, &payload);
+      std::vector<std::uint8_t> bytes;
+      encode_frame(FrameType::kHealthResponse, payload.data(),
+                   payload.size(), &bytes);
+      push_control(conn, std::move(bytes));
+      return;
+    }
+    case FrameType::kShutdown: {
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->ack_shutdown = true;
+      }
+      shutdown_requested_.store(true, std::memory_order_release);
+      shutdown_cv_.notify_all();
+      return;
+    }
+    default: {
+      // A response frame sent at the server: a confused peer. Count it,
+      // ignore it, keep the connection.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.decode_errors;
+      return;
+    }
+  }
+}
+
+void NetServer::push_control(Connection* conn,
+                             std::vector<std::uint8_t> bytes) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->control.push_back(std::move(bytes));
+  }
+  conn->cv.notify_all();
+}
+
+void NetServer::writer_loop(Connection* conn) {
+  bool dead = false;
+  auto write_bytes = [&](const std::vector<std::uint8_t>& bytes) {
+    Status s = conn->sock.write_all(bytes.data(), bytes.size());
+    if (!s.ok()) {
+      ODQ_LOG_WARN("net: connection write error: %s",
+                   s.to_string().c_str());
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.io_closes;
+      dead = true;
+    }
+    return !dead;
+  };
+  // Drain every queued control frame. Returns false when the socket died.
+  auto flush_control = [&] {
+    std::deque<std::vector<std::uint8_t>> ctl;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      ctl.swap(conn->control);
+    }
+    for (const auto& bytes : ctl) {
+      if (!write_bytes(bytes)) return false;
+    }
+    return true;
+  };
+
+  while (!dead) {
+    Connection::Reply reply;
+    bool have_reply = false;
+    bool drained = false;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [&] {
+        return !conn->control.empty() || !conn->replies.empty() ||
+               conn->reader_done;
+      });
+      if (conn->control.empty() && conn->replies.empty()) {
+        drained = conn->reader_done;
+      } else if (!conn->replies.empty() && conn->control.empty()) {
+        reply = std::move(conn->replies.front());
+        conn->replies.pop_front();
+        have_reply = true;
+      }
+    }
+    if (drained) break;
+    if (!flush_control()) break;
+    if (!have_reply) continue;
+
+    // Wait for the engine's answer — but keep servicing control frames so
+    // a health probe is answered even while the engine is backlogged.
+    while (reply.future.wait_for(std::chrono::milliseconds(5)) !=
+           std::future_status::ready) {
+      if (!flush_control()) break;
+    }
+    if (dead) break;
+    serve::InferResponse res = reply.future.get();
+    WireResponse wire;
+    wire.client_req_id = reply.client_req_id;
+    wire.code = static_cast<std::uint8_t>(res.status.code());
+    wire.message = res.status.message().substr(0, kMaxWireMessageBytes);
+    wire.scheme = res.scheme;
+    wire.degraded = res.degraded ? 1 : 0;
+    wire.server_latency_us = us_since(reply.start);
+    if (res.status.ok()) wire.output = std::move(res.output);
+    std::vector<std::uint8_t> payload;
+    encode_response(wire, &payload);
+    std::vector<std::uint8_t> bytes;
+    encode_frame(FrameType::kInferResponse, payload.data(), payload.size(),
+                 &bytes);
+    if (!write_bytes(bytes)) break;
+  }
+
+  if (!dead) {
+    bool ack = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      ack = conn->ack_shutdown;
+    }
+    if (ack) {
+      // Everything in flight has been answered: complete the handshake.
+      std::vector<std::uint8_t> bytes;
+      encode_frame(FrameType::kShutdown, nullptr, 0, &bytes);
+      write_bytes(bytes);
+    }
+  }
+  // Wake a reader still blocked in read_some (writer-error path) so both
+  // threads wind down and the connection becomes reapable.
+  conn->sock.shutdown_read();
+  conn->sock.shutdown_write();
+  if (conn->exited.fetch_add(1, std::memory_order_acq_rel) + 1 == 2) {
+    conn->done.store(true, std::memory_order_release);
+  }
+}
+
+void NetServer::reap_finished_locked() {
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    Connection* c = it->get();
+    if (!c->done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (c->reader.joinable()) c->reader.join();
+    if (c->writer.joinable()) c->writer.join();
+    it = conns_.erase(it);
+  }
+}
+
+void NetServer::wait_for_shutdown_request() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [&] {
+    return shutdown_requested_.load(std::memory_order_acquire) ||
+           stopping_.load(std::memory_order_relaxed);
+  });
+}
+
+void NetServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  shutdown_cv_.notify_all();
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (auto& conn : conns_) {
+    // EOF the reader; the writer then drains pending replies and exits.
+    conn->sock.shutdown_read();
+    conn->cv.notify_all();
+  }
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  conns_.clear();
+}
+
+ServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace odq::net

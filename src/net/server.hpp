@@ -1,0 +1,149 @@
+// NetServer: the TCP front door over ServeFrontEnd / ServeEngine.
+//
+//   accept thread ──► one reader + one writer thread per connection
+//
+//   reader:  read_frame -> decode_request -> frontend.submit(tenant)
+//            (the future joins the connection's FIFO reply queue);
+//            health probes and shutdown acks are encoded immediately and
+//            placed on the control queue
+//   writer:  drains the control queue FIRST, then waits on reply futures
+//            in arrival order — while waiting it polls the control queue
+//            every few ms, so a health probe is answered even when every
+//            in-flight request is stuck behind a backlogged engine
+//
+// Failure containment (docs/serving.md has the full matrix):
+//   * accept failure (incl. the net.accept fault) — logged, loop continues
+//   * garbage / CRC-corrupt stream — typed kCorruption, that connection is
+//     torn down; in-flight replies still drain; the server keeps serving
+//   * decodable frame, corrupt payload — error response on the same
+//     connection (framing is intact), connection stays up
+//   * admission refusal — immediate error response carrying the
+//     kResourceExhausted / kUnavailable status; nothing enters the engine
+//   * slowloris — SO_RCVTIMEO: a timeout *between* frames is idle time
+//     (retried up to idle_timeout_ms), a timeout *inside* a frame kills
+//     the connection
+//
+// Shutdown handshake: a kShutdown frame stops that connection's reader,
+// the writer drains every pending reply, then acks with an empty
+// kShutdown frame — the byte the multi-process driver waits for before
+// declaring a clean drain. The frame also sets shutdown_requested() so
+// the hosting process can stop the whole server.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "serve/frontend.hpp"
+#include "util/status.hpp"
+
+namespace odq::net {
+
+struct ServerConfig {
+  std::uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
+  // Per-read receive timeout — the slowloris clock. A peer that stalls
+  // mid-frame longer than this is disconnected.
+  std::int64_t read_timeout_ms = 1000;
+  // Max idle time between frames before the connection is closed
+  // (accumulated from consecutive idle read timeouts). 0 = never.
+  std::int64_t idle_timeout_ms = 30000;
+  std::size_t max_payload = kMaxFramePayload;
+  // Default tenant for requests that arrive without one.
+  std::string default_tenant;
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;     // accepted
+  std::uint64_t accept_errors = 0;   // accept() failures survived
+  std::uint64_t requests = 0;        // infer requests decoded
+  std::uint64_t decode_errors = 0;   // frame/payload decode failures
+  std::uint64_t health_probes = 0;
+  std::uint64_t idle_closes = 0;     // connections closed for idling
+  std::uint64_t io_closes = 0;       // closed on read/write/corruption
+};
+
+class NetServer {
+ public:
+  // Neither reference is owned; both must outlive the server.
+  NetServer(serve::ServeFrontEnd& frontend, ServerConfig cfg);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Bind, listen, spawn the accept loop. kIoError if the bind fails.
+  util::Status start();
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  // True once any connection delivered a kShutdown frame.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+  // Block until shutdown_requested() (or the server is stopped locally).
+  void wait_for_shutdown_request();
+
+  // Stop accepting, wake and join every connection (their writers drain
+  // pending replies first), join the accept loop. Idempotent; also run by
+  // the destructor. Does NOT shut down the front end or engine.
+  void shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    Socket sock;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    // Encoded frames that jump the queue: health responses, error
+    // responses, the shutdown ack (always last — see push order).
+    std::deque<std::vector<std::uint8_t>> control;
+    struct Reply {
+      std::uint64_t client_req_id = 0;
+      std::chrono::steady_clock::time_point start;
+      std::future<serve::InferResponse> future;
+    };
+    std::deque<Reply> replies;  // FIFO, answered in arrival order
+    bool reader_done = false;
+    bool ack_shutdown = false;  // send the kShutdown ack after the drain
+    std::atomic<int> exited{0};     // threads that have finished (0..2)
+    std::atomic<bool> done{false};  // both threads exited; reapable
+  };
+
+  void accept_loop();
+  void reader_loop(Connection* conn);
+  void writer_loop(Connection* conn);
+  void handle_frame(Connection* conn, const Frame& frame);
+  void push_control(Connection* conn, std::vector<std::uint8_t> bytes);
+  void reap_finished_locked();
+
+  serve::ServeFrontEnd& frontend_;
+  ServerConfig cfg_;
+  Listener listener_;
+  std::thread acceptor_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // under shutdown_mutex_: shutdown() ran fully
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace odq::net

@@ -1,0 +1,239 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/fault.hpp"
+
+namespace odq::net {
+
+using util::Status;
+using util::StatusCode;
+using util::StatusOr;
+
+namespace {
+
+Status io_error(const std::string& what) {
+  return Status(StatusCode::kIoError, what + ": " + ::strerror(errno));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), would_block_last_(other.would_block_last_) {
+  other.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    would_block_last_ = other.would_block_last_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::read_some(void* buf, std::size_t len, std::size_t* n_read) {
+  *n_read = 0;
+  would_block_last_ = false;
+  if (fd_ < 0) return Status(StatusCode::kIoError, "read on closed socket");
+  if (util::fault_fire("net.read")) {
+    return Status(StatusCode::kIoError, "injected net.read fault");
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) {
+      *n_read = static_cast<std::size_t>(n);
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      would_block_last_ = true;
+      return Status(StatusCode::kIoError, "read timed out");
+    }
+    return io_error("recv");
+  }
+}
+
+Status Socket::write_all(const void* buf, std::size_t len) {
+  if (fd_ < 0) return Status(StatusCode::kIoError, "write on closed socket");
+  if (util::fault_fire("net.write")) {
+    return Status(StatusCode::kIoError, "injected net.write fault");
+  }
+  const char* p = static_cast<const char*>(buf);
+  std::size_t left = len;
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // A send timeout (if one is ever set) or full socket buffer on a
+      // blocking fd: poll for writability rather than spin.
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      if (::poll(&pfd, 1, 1000) <= 0) return io_error("send (stalled)");
+      continue;
+    }
+    return io_error("send");
+  }
+  return Status::Ok();
+}
+
+Status Socket::set_read_timeout_ms(std::int64_t timeout_ms) {
+  if (fd_ < 0) return Status(StatusCode::kIoError, "closed socket");
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return io_error("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::Ok();
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::~Listener() { close(); }
+
+Status Listener::bind_and_listen(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return io_error("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s = io_error("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status s = io_error("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t alen = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &alen) !=
+      0) {
+    const Status s = io_error("getsockname");
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+
+StatusOr<Socket> Listener::accept() {
+  if (fd_ < 0) {
+    return Status(StatusCode::kUnavailable, "listener closed");
+  }
+  if (util::fault_fire("net.accept")) {
+    return Status(StatusCode::kIoError, "injected net.accept fault");
+  }
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(cfd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EBADF || errno == EINVAL) {
+      // close() pulled the fd out from under a blocked accept: the
+      // shutdown path, not an error.
+      return Status(StatusCode::kUnavailable, "listener closed");
+    }
+    return io_error("accept");
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    // shutdown() first so a concurrently blocked accept() wakes with an
+    // error instead of racing against fd reuse.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Socket> connect_local(std::uint16_t port, std::int64_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return io_error("socket");
+
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  // Non-blocking connect with a poll deadline, then back to blocking mode.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc <= 0) {
+      ::close(fd);
+      return Status(StatusCode::kUnavailable, "connect timed out");
+    }
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen);
+    if (err != 0) {
+      ::close(fd);
+      errno = err;
+      return io_error("connect");
+    }
+  } else if (rc != 0) {
+    const Status s = io_error("connect");
+    ::close(fd);
+    return s;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+}  // namespace odq::net

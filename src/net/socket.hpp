@@ -1,0 +1,109 @@
+// Thin RAII wrappers over POSIX TCP sockets, Status-returning throughout.
+//
+// The serving front end never touches raw fds: Socket owns one connected
+// stream (move-only, closes on destruction), Listener owns one listening
+// socket. Every failure-capable syscall is bracketed by a deterministic
+// fault site (docs/robustness.md, docs/serving.md):
+//
+//   net.accept   Listener::accept fails with kIoError (the accept loop
+//                logs and keeps accepting — one bad accept never stops
+//                the server)
+//   net.read     Socket::read_some fails with kIoError (the connection is
+//                torn down cleanly; in-flight requests still drain)
+//   net.write    Socket::write_all fails with kIoError (ditto)
+//
+// Reads support a per-call timeout (SO_RCVTIMEO) — the slowloris defense:
+// a peer that dribbles bytes mid-frame is disconnected instead of pinning
+// a server thread forever. Writes are full-delivery loops (write_all
+// retries partial writes), so callers never see short writes.
+//
+// Everything here is loopback/IPv4; the wire format on top (frame.hpp) is
+// explicitly little-endian so the codec, not the socket layer, owns
+// portability.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace odq::net {
+
+// A connected TCP stream. Move-only; closes its fd on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Read up to `len` bytes. On success *n_read > 0; *n_read == 0 means the
+  // peer closed cleanly (EOF). kIoError covers read failures and — when a
+  // receive timeout is set — a timeout with no bytes delivered, which the
+  // caller distinguishes via would_block_last().
+  util::Status read_some(void* buf, std::size_t len, std::size_t* n_read);
+
+  // Write all `len` bytes, retrying partial writes. kIoError on failure
+  // (including a closed peer: SIGPIPE is suppressed via MSG_NOSIGNAL).
+  util::Status write_all(const void* buf, std::size_t len);
+
+  // Receive timeout for subsequent reads; 0 disables (block forever).
+  util::Status set_read_timeout_ms(std::int64_t timeout_ms);
+
+  // True when the last read_some failure was a receive timeout
+  // (EAGAIN/EWOULDBLOCK) rather than a hard error — the slowloris /
+  // idle-poll distinction.
+  bool would_block_last() const { return would_block_last_; }
+
+  // Half-close the read side (wakes a blocked peer write / our reads EOF).
+  void shutdown_read();
+  // Half-close the write side (peer's reads see EOF after the drain).
+  void shutdown_write();
+  void close();
+
+ private:
+  int fd_ = -1;
+  bool would_block_last_ = false;
+};
+
+// A listening TCP socket bound to 127.0.0.1.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Bind to 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, readable
+  // via port() afterwards) and listen.
+  util::Status bind_and_listen(std::uint16_t port, int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  // Block for one connection. kIoError on accept failure (incl. the
+  // net.accept fault site); kUnavailable once close() was called.
+  util::StatusOr<Socket> accept();
+
+  // Close the listening fd; a blocked accept() returns kUnavailable.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// Connect to 127.0.0.1:`port` with a bounded connect timeout.
+util::StatusOr<Socket> connect_local(std::uint16_t port,
+                                     std::int64_t timeout_ms = 2000);
+
+}  // namespace odq::net

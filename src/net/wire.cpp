@@ -1,0 +1,292 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace odq::net {
+
+using util::Status;
+using util::StatusCode;
+
+namespace {
+
+Status corruption(const char* what) {
+  return Status(StatusCode::kCorruption, what);
+}
+
+// Canonical little-endian append helpers.
+void put_u8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i64(std::vector<std::uint8_t>* out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>* out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_bytes(std::vector<std::uint8_t>* out, const void* p,
+               std::size_t len) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out->insert(out->end(), b, b + len);
+}
+
+void put_string16(std::vector<std::uint8_t>* out, const std::string& s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  put_bytes(out, s.data(), s.size());
+}
+
+void put_tensor(std::vector<std::uint8_t>* out, const tensor::Tensor& t) {
+  put_u8(out, 0);  // dtype: f32
+  put_u8(out, static_cast<std::uint8_t>(t.shape().rank()));
+  for (std::size_t i = 0; i < t.shape().rank(); ++i) {
+    put_u64(out, static_cast<std::uint64_t>(t.shape()[i]));
+  }
+  put_bytes(out, t.data(), static_cast<std::size_t>(t.numel()) *
+                               sizeof(float));
+}
+
+// Strict bounds-checked reader over [data, data+len). Every take_*
+// returns false instead of reading past the end.
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t left;
+
+  bool take_bytes(void* out, std::size_t n) {
+    if (left < n) return false;
+    std::memcpy(out, p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+
+  bool take_u8(std::uint8_t* v) { return take_bytes(v, 1); }
+
+  bool take_u16(std::uint16_t* v) {
+    std::uint8_t b[2];
+    if (!take_bytes(b, 2)) return false;
+    *v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return true;
+  }
+
+  bool take_u32(std::uint32_t* v) {
+    std::uint8_t b[4];
+    if (!take_bytes(b, 4)) return false;
+    *v = 0;
+    for (int i = 3; i >= 0; --i) *v = (*v << 8) | b[i];
+    return true;
+  }
+
+  bool take_u64(std::uint64_t* v) {
+    std::uint8_t b[8];
+    if (!take_bytes(b, 8)) return false;
+    *v = 0;
+    for (int i = 7; i >= 0; --i) *v = (*v << 8) | b[i];
+    return true;
+  }
+
+  bool take_i64(std::int64_t* v) {
+    std::uint64_t u;
+    if (!take_u64(&u)) return false;
+    *v = static_cast<std::int64_t>(u);
+    return true;
+  }
+
+  bool take_f64(double* v) {
+    std::uint64_t bits;
+    if (!take_u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+};
+
+Status take_version(Cursor* c) {
+  std::uint32_t version = 0;
+  if (!c->take_u32(&version)) return corruption("truncated message header");
+  if (version != kWireProtocolVersion) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "wire protocol version mismatch: got " +
+                      std::to_string(version) + ", want " +
+                      std::to_string(kWireProtocolVersion));
+  }
+  return Status::Ok();
+}
+
+Status take_string16(Cursor* c, std::size_t max_len, const char* what,
+                     std::string* out) {
+  std::uint16_t n = 0;
+  if (!c->take_u16(&n)) return corruption("truncated string length");
+  if (n > max_len) {
+    return Status(StatusCode::kCorruption,
+                  std::string("oversized ") + what + " (" +
+                      std::to_string(n) + " bytes)");
+  }
+  if (c->left < n) return corruption("truncated string payload");
+  out->assign(reinterpret_cast<const char*>(c->p), n);
+  c->p += n;
+  c->left -= n;
+  return Status::Ok();
+}
+
+Status take_tensor(Cursor* c, tensor::Tensor* out) {
+  std::uint8_t dtype = 0;
+  std::uint8_t rank = 0;
+  if (!c->take_u8(&dtype)) return corruption("truncated tensor record");
+  if (dtype != 0) return corruption("unknown tensor dtype");
+  if (!c->take_u8(&rank)) return corruption("truncated tensor record");
+  if (rank > kMaxWireTensorRank) return corruption("implausible tensor rank");
+  std::vector<std::int64_t> dims(rank);
+  std::int64_t numel = 1;
+  for (std::uint8_t i = 0; i < rank; ++i) {
+    std::uint64_t d = 0;
+    if (!c->take_u64(&d)) return corruption("truncated tensor dims");
+    if (d == 0 || d > static_cast<std::uint64_t>(kMaxWireTensorElems)) {
+      return corruption("implausible tensor dim");
+    }
+    dims[i] = static_cast<std::int64_t>(d);
+    numel *= dims[i];
+    // Cap the running product, not just the result: each factor is bounded
+    // above, so this cannot overflow before the check trips.
+    if (numel > kMaxWireTensorElems) {
+      return corruption("tensor element count over wire cap");
+    }
+  }
+  const std::size_t payload =
+      static_cast<std::size_t>(numel) * sizeof(float);
+  if (c->left < payload) return corruption("truncated tensor payload");
+  std::vector<float> data(static_cast<std::size_t>(numel));
+  std::memcpy(data.data(), c->p, payload);
+  c->p += payload;
+  c->left -= payload;
+  *out = tensor::Tensor(tensor::Shape(std::move(dims)), std::move(data));
+  return Status::Ok();
+}
+
+Status expect_end(const Cursor& c) {
+  if (c.left != 0) return corruption("trailing bytes after message");
+  return Status::Ok();
+}
+
+}  // namespace
+
+void encode_request(const WireRequest& req, std::vector<std::uint8_t>* out) {
+  put_u32(out, kWireProtocolVersion);
+  put_u64(out, req.client_req_id);
+  put_i64(out, req.deadline_us);
+  put_u64(out, req.tag);
+  put_string16(out, req.tenant);
+  put_tensor(out, req.input);
+}
+
+Status decode_request(const std::uint8_t* data, std::size_t len,
+                      WireRequest* out) {
+  Cursor c{data, len};
+  Status s = take_version(&c);
+  if (!s.ok()) return s;
+  if (!c.take_u64(&out->client_req_id)) return corruption("truncated request");
+  if (!c.take_i64(&out->deadline_us)) return corruption("truncated request");
+  if (out->deadline_us < 0) return corruption("negative request deadline");
+  if (!c.take_u64(&out->tag)) return corruption("truncated request");
+  s = take_string16(&c, kMaxWireTenantBytes, "tenant", &out->tenant);
+  if (!s.ok()) return s;
+  s = take_tensor(&c, &out->input);
+  if (!s.ok()) return s;
+  return expect_end(c);
+}
+
+void encode_response(const WireResponse& res,
+                     std::vector<std::uint8_t>* out) {
+  put_u32(out, kWireProtocolVersion);
+  put_u64(out, res.client_req_id);
+  put_u8(out, res.code);
+  put_string16(out, res.message);
+  put_string16(out, res.scheme);
+  put_u8(out, res.degraded);
+  put_f64(out, res.server_latency_us);
+  put_u8(out, res.code == 0 ? 1 : 0);
+  if (res.code == 0) put_tensor(out, res.output);
+}
+
+Status decode_response(const std::uint8_t* data, std::size_t len,
+                       WireResponse* out) {
+  Cursor c{data, len};
+  Status s = take_version(&c);
+  if (!s.ok()) return s;
+  if (!c.take_u64(&out->client_req_id)) {
+    return corruption("truncated response");
+  }
+  if (!c.take_u8(&out->code)) return corruption("truncated response");
+  s = take_string16(&c, kMaxWireMessageBytes, "status message",
+                    &out->message);
+  if (!s.ok()) return s;
+  s = take_string16(&c, kMaxWireMessageBytes, "scheme", &out->scheme);
+  if (!s.ok()) return s;
+  if (!c.take_u8(&out->degraded)) return corruption("truncated response");
+  if (out->degraded > 1) return corruption("bad degraded flag");
+  if (!c.take_f64(&out->server_latency_us)) {
+    return corruption("truncated response");
+  }
+  std::uint8_t has_output = 0;
+  if (!c.take_u8(&has_output)) return corruption("truncated response");
+  if (has_output > 1) return corruption("bad output-present flag");
+  // Canonical coupling: a tensor travels with ok responses, exactly.
+  if ((out->code == 0) != (has_output == 1)) {
+    return corruption("output presence disagrees with status code");
+  }
+  if (has_output == 1) {
+    s = take_tensor(&c, &out->output);
+    if (!s.ok()) return s;
+  }
+  return expect_end(c);
+}
+
+void encode_health(const WireHealth& h, std::vector<std::uint8_t>* out) {
+  put_u32(out, kWireProtocolVersion);
+  put_u8(out, h.ready);
+  put_u8(out, h.draining);
+  put_u32(out, h.degrade_level);
+  put_u64(out, h.queue_depth);
+  put_u64(out, h.accepted);
+  put_u64(out, h.rejected);
+  put_u64(out, h.shed);
+}
+
+Status decode_health(const std::uint8_t* data, std::size_t len,
+                     WireHealth* out) {
+  Cursor c{data, len};
+  Status s = take_version(&c);
+  if (!s.ok()) return s;
+  if (!c.take_u8(&out->ready)) return corruption("truncated health");
+  if (!c.take_u8(&out->draining)) return corruption("truncated health");
+  if (out->ready > 1 || out->draining > 1) {
+    return corruption("bad health flag");
+  }
+  if (!c.take_u32(&out->degrade_level)) return corruption("truncated health");
+  if (!c.take_u64(&out->queue_depth)) return corruption("truncated health");
+  if (!c.take_u64(&out->accepted)) return corruption("truncated health");
+  if (!c.take_u64(&out->rejected)) return corruption("truncated health");
+  if (!c.take_u64(&out->shed)) return corruption("truncated health");
+  return expect_end(c);
+}
+
+}  // namespace odq::net

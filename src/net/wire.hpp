@@ -1,0 +1,80 @@
+// Serving wire messages: the payloads carried inside net frames.
+//
+// Tensors travel as dtype/rank/dims records — the v3 checkpoint idiom
+// (docs/robustness.md "Checkpoint format v3") — so the request codec and
+// the checkpoint loader share one vocabulary for shape metadata:
+//
+//   u8  dtype    0 = f32 (the only dtype today)
+//   u8  rank     <= 8
+//   u64 dims[rank]
+//   f32 payload[numel]          little-endian
+//
+// Every message starts with the u32 protocol version; a mismatch is
+// kFailedPrecondition (upgrade skew), every other malformation is
+// kCorruption, and decoders are strict: bounds-checked cursor reads (no
+// over-read on truncated payloads), element-count caps (no
+// attacker-chosen allocations), and an exact-length check (trailing
+// garbage is corruption). Encoding is canonical — encode(decode(bytes))
+// is byte-identical — which is what the seeded round-trip property suite
+// pins (tests/net/test_wire_property.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/status.hpp"
+
+namespace odq::net {
+
+inline constexpr std::uint32_t kWireProtocolVersion = 1;
+inline constexpr std::size_t kMaxWireTenantBytes = 64;
+inline constexpr std::size_t kMaxWireMessageBytes = 1024;
+inline constexpr std::size_t kMaxWireTensorRank = 8;
+// Element cap for decoded tensors: 16M floats = 64 MiB, far above any
+// model input/output here, far below an allocation bomb.
+inline constexpr std::int64_t kMaxWireTensorElems = 16u << 20;
+
+struct WireRequest {
+  std::uint64_t client_req_id = 0;
+  std::string tenant;              // admission identity; may be empty
+  std::int64_t deadline_us = 0;    // remaining budget at send time; 0 = none
+  std::uint64_t tag = 0;           // shadow-lane sampling key
+  tensor::Tensor input;            // f32
+};
+
+struct WireResponse {
+  std::uint64_t client_req_id = 0;
+  std::uint8_t code = 0;           // util::StatusCode as u8
+  std::string message;             // empty when ok
+  std::string scheme;              // scheme the request was served under
+  std::uint8_t degraded = 0;       // 1 = load-shed degraded path
+  double server_latency_us = 0.0;  // enqueue -> done on the server clock
+  tensor::Tensor output;           // present iff code == 0
+};
+
+struct WireHealth {
+  std::uint8_t ready = 0;     // accepting new requests
+  std::uint8_t draining = 0;  // shutdown drain in progress
+  std::uint32_t degrade_level = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+};
+
+void encode_request(const WireRequest& req, std::vector<std::uint8_t>* out);
+util::Status decode_request(const std::uint8_t* data, std::size_t len,
+                            WireRequest* out);
+
+void encode_response(const WireResponse& res, std::vector<std::uint8_t>* out);
+util::Status decode_response(const std::uint8_t* data, std::size_t len,
+                             WireResponse* out);
+
+void encode_health(const WireHealth& h, std::vector<std::uint8_t>* out);
+util::Status decode_health(const std::uint8_t* data, std::size_t len,
+                           WireHealth* out);
+
+}  // namespace odq::net

@@ -1,0 +1,35 @@
+#include "serve/degrade.hpp"
+
+namespace odq::serve {
+
+int LoadShedController::observe(std::size_t pending) {
+  int target = 0;
+  if (cfg_.shed_high > 0 && pending >= cfg_.shed_high) {
+    target = 2;
+  } else if (cfg_.degrade_high > 0 && pending >= cfg_.degrade_high) {
+    target = 1;
+  }
+  int level = level_.load(std::memory_order_relaxed);
+  if (target > level) {
+    // Escalate straight to the target: a queue deep enough to shed is deep
+    // enough that passing through "degrade" first would only add latency.
+    level = target;
+    low_streak_ = 0;
+    level_.store(level, std::memory_order_relaxed);
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+  } else if (level > 0) {
+    if (pending <= cfg_.low_water) {
+      if (++low_streak_ >= cfg_.down_hold) {
+        --level;
+        low_streak_ = 0;
+        level_.store(level, std::memory_order_relaxed);
+        transitions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      low_streak_ = 0;  // recovery must be contiguous
+    }
+  }
+  return level;
+}
+
+}  // namespace odq::serve

@@ -1,0 +1,59 @@
+// Load-shed controller: graceful degradation under overload.
+//
+// The front end (serve/frontend.hpp) feeds it one observation per
+// dispatch — the number of requests pending ahead of the engine — and it
+// answers with a degradation level:
+//
+//   level 0   normal: everyone gets the full scheme
+//   level 1   degrade: best-effort tenants run the session's degraded
+//             scheme (static INT8 — cheap, no per-batch analysis pass)
+//   level 2   shed: best-effort tenants are refused at admission
+//             (kUnavailable) so guaranteed tenants keep their SLO
+//
+// Escalation is immediate (one observation over the threshold trips the
+// level), de-escalation is hysteretic: the level steps down one notch only
+// after `down_hold` *consecutive* observations at or below `low_water`.
+// That asymmetry is deliberate — flapping between levels under a sawtooth
+// load would re-admit a thundering herd exactly when the queue just
+// drained. The controller is pure state-machine arithmetic (no clocks, no
+// randomness), so a fixed observation sequence always produces the same
+// level trace — the determinism the overload bench and the unit tests pin.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace odq::serve {
+
+struct DegradeConfig {
+  // Pending-depth thresholds. 0 disables the transition entirely.
+  std::size_t degrade_high = 0;  // >= this -> at least level 1
+  std::size_t shed_high = 0;     // >= this -> level 2
+  std::size_t low_water = 0;     // <= this counts toward stepping down
+  int down_hold = 4;             // consecutive low observations per step-down
+};
+
+class LoadShedController {
+ public:
+  explicit LoadShedController(DegradeConfig cfg) : cfg_(cfg) {}
+
+  // Feed one pending-depth observation; returns the level now in force.
+  // Callers must serialize observe() against itself (the front end calls
+  // it under its admission mutex); level() is safe from any thread.
+  int observe(std::size_t pending);
+
+  int level() const { return level_.load(std::memory_order_relaxed); }
+  std::uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  const DegradeConfig& config() const { return cfg_; }
+
+ private:
+  DegradeConfig cfg_;
+  std::atomic<int> level_{0};
+  std::atomic<std::uint64_t> transitions_{0};
+  int low_streak_ = 0;
+};
+
+}  // namespace odq::serve

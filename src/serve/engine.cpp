@@ -49,6 +49,9 @@ struct ServeTelemetry {
   obs::WindowedCounter& rejected = obs::telemetry_counter("serve.rejected");
   obs::WindowedCounter& slo_violations =
       obs::telemetry_counter("serve.slo_violations");
+  obs::WindowedCounter& deadline_exceeded =
+      obs::telemetry_counter("serve.deadline_exceeded");
+  obs::WindowedCounter& degraded = obs::telemetry_counter("serve.degraded");
 };
 
 ServeTelemetry& serve_telemetry() {
@@ -97,20 +100,58 @@ double ServeEngine::now_us() const {
 
 StatusOr<std::future<InferResponse>> ServeEngine::submit(
     tensor::Tensor input, std::uint64_t tag) {
-  return submit_impl(std::move(input), tag, /*blocking=*/true);
+  SubmitOptions opts;
+  opts.tag = tag;
+  return submit_impl(std::move(input), opts, /*blocking=*/true);
 }
 
 StatusOr<std::future<InferResponse>> ServeEngine::try_submit(
     tensor::Tensor input, std::uint64_t tag) {
-  return submit_impl(std::move(input), tag, /*blocking=*/false);
+  SubmitOptions opts;
+  opts.tag = tag;
+  return submit_impl(std::move(input), opts, /*blocking=*/false);
+}
+
+StatusOr<std::future<InferResponse>> ServeEngine::submit(
+    tensor::Tensor input, const SubmitOptions& opts) {
+  return submit_impl(std::move(input), opts, /*blocking=*/true);
+}
+
+StatusOr<std::future<InferResponse>> ServeEngine::try_submit(
+    tensor::Tensor input, const SubmitOptions& opts) {
+  return submit_impl(std::move(input), opts, /*blocking=*/false);
 }
 
 StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
-    tensor::Tensor input, std::uint64_t tag, bool blocking) {
-  auto reject = [&](Status s) -> StatusOr<std::future<InferResponse>> {
+    tensor::Tensor input, const SubmitOptions& opts, bool blocking) {
+  std::promise<InferResponse> promise;
+  std::future<InferResponse> future = promise.get_future();
+  const Status s = submit_with_promise(std::move(input), opts,
+                                       std::move(promise), blocking);
+  if (!s.ok()) return s;
+  return future;
+}
+
+util::Status ServeEngine::submit_with_promise(
+    tensor::Tensor input, const SubmitOptions& opts,
+    std::promise<InferResponse> promise, bool blocking) {
+  PendingRequest req;
+  req.promise = std::move(promise);
+  auto reject = [&](const Status& s) -> Status {
     serve_telemetry().rejected.increment();
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.rejected;
+    // Per-tenant attribution so admission-control decisions show up as
+    // serve.rejected.<tenant> in odq_top, not just one global number.
+    if (!opts.tenant.empty()) {
+      obs::telemetry_counter("serve.rejected." + opts.tenant).increment();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected;
+      if (!opts.tenant.empty()) ++stats_.rejected_by_tenant[opts.tenant];
+    }
+    InferResponse res;
+    res.status = s;
+    req.promise.set_value(std::move(res));
     return s;
   };
   if (util::fault_fire("serve.submit")) {
@@ -118,13 +159,14 @@ StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
         Status(StatusCode::kUnavailable, "injected serve.submit fault"));
   }
 
-  PendingRequest req;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  req.tag = tag == kNoRequestTag ? req.id : tag;
+  req.tag = opts.tag == kNoRequestTag ? req.id : opts.tag;
+  req.tenant = opts.tenant;
+  req.deadline = opts.deadline;
+  req.degraded = opts.degraded;
   req.input = std::move(input);
   req.enqueue_us = now_us();
   req.enqueue_tp = std::chrono::steady_clock::now();
-  std::future<InferResponse> future = req.promise.get_future();
 
   Status pushed = blocking ? queue_.push(std::move(req))
                            : queue_.try_push(std::move(req));
@@ -139,7 +181,7 @@ StatusOr<std::future<InferResponse>> ServeEngine::submit_impl(
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
   }
-  return future;
+  return Status::Ok();
 }
 
 void ServeEngine::worker_loop(int worker_id) {
@@ -186,9 +228,17 @@ void ServeEngine::worker_loop(int worker_id) {
       res.worker_id = worker_id;
       res.enqueue_us = req.enqueue_us;
       res.start_us = now_us();
+      const bool expired = req.deadline != kNoDeadline &&
+                           std::chrono::steady_clock::now() > req.deadline;
       if (batch_fault) {
         res.status =
             Status(StatusCode::kUnavailable, "injected serve.batch fault");
+      } else if (expired) {
+        // Shed before execution: a request that already missed its deadline
+        // would only burn capacity the queue behind it needs.
+        res.status = Status(StatusCode::kDeadlineExceeded,
+                            "deadline passed before execution");
+        serve_telemetry().deadline_exceeded.increment();
       } else {
         // The request scope tags the exec span and every span the session
         // run emits underneath it (conv phases: odq.pack/gemm/...) with
@@ -197,7 +247,15 @@ void ServeEngine::worker_loop(int worker_id) {
         obs::TraceSpan exec_span("serve.exec");
         exec_span.arg("worker", worker_id);
         try {
-          res.output = session.run(req.input);
+          if (req.degraded) {
+            res.output = session.run_degraded(req.input);
+            res.scheme = session.degraded_scheme();
+            res.degraded = true;
+            serve_telemetry().degraded.increment();
+          } else {
+            res.output = session.run(req.input);
+            res.scheme = session.scheme();
+          }
         } catch (const std::exception& e) {
           res.status = Status(StatusCode::kInvalidArgument, e.what());
         } catch (...) {
@@ -260,6 +318,8 @@ void ServeEngine::worker_loop(int worker_id) {
         ++stats_.completed;
         if (!res.status.ok()) ++stats_.errors;
         if (over_slo) ++stats_.slo_violations;
+        if (expired && !batch_fault) ++stats_.deadline_exceeded;
+        if (res.degraded) ++stats_.degraded;
       }
       req.promise.set_value(std::move(res));
     }

@@ -41,7 +41,10 @@
 //   serve.queue_depth            windowed series, depth after push/pop
 //   serve.in_flight              windowed series, level after +-1
 //   serve.requests / serve.errors / serve.batches / serve.rejected /
-//   serve.slo_violations         windowed counters
+//   serve.slo_violations / serve.deadline_exceeded / serve.degraded
+//                                windowed counters
+//   serve.rejected.<tenant>      per-tenant rejection attribution (only for
+//                                submits that named a tenant)
 //
 // Per-request tracing: every request gets a trace id (its request id,
 // allocated at submit). The worker wraps each session run in a
@@ -63,8 +66,10 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -102,6 +107,13 @@ struct EngineStats {
   std::uint64_t multi_request_batches = 0;  // batches with more than 1
   std::uint64_t max_batch_observed = 0;
   std::uint64_t slo_violations = 0;  // responses over EngineConfig::slo_us
+  // Accepted requests whose deadline passed before execution: answered
+  // kDeadlineExceeded without running the model (load shedding).
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t degraded = 0;  // requests served via run_degraded
+  // Per-tenant rejection attribution (mirrors the serve.rejected.<tenant>
+  // telemetry counters); only tenants named in SubmitOptions appear.
+  std::map<std::string, std::uint64_t> rejected_by_tenant;
   // batch_size_hist[k] = batches that carried exactly k requests
   // (index 0 unused). Sized max_batch + 1.
   std::vector<std::uint64_t> batch_size_hist;
@@ -133,6 +145,25 @@ class ServeEngine {
   util::StatusOr<std::future<InferResponse>> try_submit(
       tensor::Tensor input, std::uint64_t tag = kNoRequestTag);
 
+  // Full-metadata variants (tenant attribution, deadline, degradation
+  // hint) — the networked front end's entry points. Rejections are charged
+  // to opts.tenant in both EngineStats and the serve.rejected.<tenant>
+  // telemetry counter.
+  util::StatusOr<std::future<InferResponse>> submit(tensor::Tensor input,
+                                                    const SubmitOptions& opts);
+  util::StatusOr<std::future<InferResponse>> try_submit(
+      tensor::Tensor input, const SubmitOptions& opts);
+
+  // Submit with a caller-owned promise (the front end's dispatch path: the
+  // caller handed out the matching future at admission time, possibly long
+  // before this call). On rejection the promise is fulfilled with the
+  // rejection status — every admitted request always gets exactly one
+  // response — and the returned Status mirrors it.
+  util::Status submit_with_promise(tensor::Tensor input,
+                                   const SubmitOptions& opts,
+                                   std::promise<InferResponse> promise,
+                                   bool blocking = true);
+
   // Stop accepting, drain everything already accepted, join workers.
   // Idempotent; also run by the destructor.
   void shutdown();
@@ -146,9 +177,8 @@ class ServeEngine {
   double now_us() const;
 
  private:
-  util::StatusOr<std::future<InferResponse>> submit_impl(tensor::Tensor input,
-                                                         std::uint64_t tag,
-                                                         bool blocking);
+  util::StatusOr<std::future<InferResponse>> submit_impl(
+      tensor::Tensor input, const SubmitOptions& opts, bool blocking);
   void worker_loop(int worker_id);
 
   EngineConfig cfg_;

@@ -37,8 +37,19 @@ class InferenceSession {
   // escaped exceptions into per-request error Statuses.
   virtual tensor::Tensor run(const tensor::Tensor& input) = 0;
 
+  // Evaluate under the session's degraded (cheaper) scheme — the load-shed
+  // controller's downgrade target. Sessions without one serve the full
+  // path, so degradation is always safe to request.
+  virtual tensor::Tensor run_degraded(const tensor::Tensor& input) {
+    return run(input);
+  }
+
   // Numeric scheme tag ("odq", "drq", "static_int8", "fp32").
   virtual std::string scheme() const = 0;
+
+  // Scheme run_degraded evaluates under; equals scheme() when the session
+  // has no cheaper path.
+  virtual std::string degraded_scheme() const { return scheme(); }
 };
 
 // Build a conv executor by scheme name. "fp32" returns nullptr (the model's
@@ -57,6 +68,17 @@ class ModelSession : public InferenceSession {
   tensor::Tensor run(const tensor::Tensor& input) override;
   std::string scheme() const override { return scheme_; }
 
+  // Install a cheaper executor for load-shed degradation (e.g.
+  // static-INT8 under an ODQ primary). run_degraded swaps it onto the
+  // model for the call and restores the primary afterwards — safe because
+  // each engine worker owns its session and runs single-threaded.
+  void set_degraded_executor(std::shared_ptr<nn::ConvExecutor> executor,
+                             std::string scheme);
+  tensor::Tensor run_degraded(const tensor::Tensor& input) override;
+  std::string degraded_scheme() const override {
+    return degraded_scheme_.empty() ? scheme_ : degraded_scheme_;
+  }
+
   nn::Model& model() { return model_; }
   const std::shared_ptr<nn::ConvExecutor>& executor() const {
     return executor_;
@@ -66,6 +88,8 @@ class ModelSession : public InferenceSession {
   nn::Model model_;
   std::shared_ptr<nn::ConvExecutor> executor_;
   std::string scheme_;
+  std::shared_ptr<nn::ConvExecutor> degraded_executor_;
+  std::string degraded_scheme_;
 };
 
 }  // namespace odq::serve

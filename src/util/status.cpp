@@ -11,6 +11,8 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kCorruption: return "corruption";
     case StatusCode::kFailedPrecondition: return "failed_precondition";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

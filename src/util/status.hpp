@@ -23,7 +23,9 @@ enum class StatusCode : int {
   kIoError,            // open/read/write/rename failed or came up short
   kCorruption,          // payload present but fails validation (CRC, parse)
   kFailedPrecondition,  // state mismatch (wrong architecture, wrong version)
-  kUnavailable          // transient refusal (queue full, engine shutting down)
+  kUnavailable,         // transient refusal (queue full, engine shutting down)
+  kResourceExhausted,   // per-tenant quota or admission limit hit
+  kDeadlineExceeded     // request deadline passed before completion
 };
 
 // Stable lowercase name for a code ("corruption", ...). Never nullptr.

@@ -1,0 +1,449 @@
+// NetServer + NetClient end to end over real sockets: bit-exact inference
+// round trips, health probes that jump a backlogged writer, typed decode
+// errors that never take the server down, the deterministic net.* fault
+// sites (accept, read, write, frame_crc, slowloris) with client-side
+// retries, deadline propagation, and the kShutdown drain handshake.
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/engine.hpp"
+#include "serve/frontend.hpp"
+#include "serve/session.hpp"
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
+namespace odq::net {
+namespace {
+
+using serve::InferResponse;
+using tensor::Shape;
+using tensor::Tensor;
+using util::Status;
+using util::StatusCode;
+
+Tensor scalar_input(float v) {
+  Tensor t(Shape{1, 1, 1, 1});
+  t[0] = v;
+  return t;
+}
+
+struct EchoState {
+  std::mutex m;
+  std::condition_variable cv;
+  bool gated = false;
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      gated = false;
+    }
+    cv.notify_all();
+  }
+};
+
+class EchoSession : public serve::InferenceSession {
+ public:
+  explicit EchoSession(EchoState* state) : state_(state) {}
+  tensor::Tensor run(const tensor::Tensor& input) override {
+    {
+      std::unique_lock<std::mutex> lock(state_->m);
+      state_->cv.wait(lock, [&] { return !state_->gated; });
+    }
+    Tensor out = input;
+    for (std::int64_t i = 0; i < out.numel(); ++i) out[i] *= 2.0f;
+    return out;
+  }
+  std::string scheme() const override { return "echo"; }
+
+ private:
+  EchoState* state_;
+};
+
+// One engine + front end + server per test, torn down in drain order.
+struct Harness {
+  explicit Harness(ServerConfig scfg = {}) {
+    serve::EngineConfig ecfg;
+    ecfg.num_workers = 1;
+    ecfg.queue_capacity = 8;
+    ecfg.max_batch = 4;
+    ecfg.flush_timeout_us = 200;
+    engine = std::make_unique<serve::ServeEngine>(
+        ecfg, [this](int) { return std::make_unique<EchoSession>(&state); });
+
+    serve::FrontEndConfig fcfg;
+    serve::TenantSpec gold;
+    gold.name = "gold";
+    gold.weight = 2.0;
+    gold.queue_limit = 32;
+    serve::TenantSpec bronze;
+    bronze.name = "bronze";
+    bronze.weight = 1.0;
+    bronze.queue_limit = 32;
+    bronze.best_effort = true;
+    fcfg.tenants = {gold, bronze};
+    frontend = std::make_unique<serve::ServeFrontEnd>(*engine, fcfg);
+
+    scfg.default_tenant = "gold";
+    server = std::make_unique<NetServer>(*frontend, scfg);
+    const Status st = server->start();
+    EXPECT_TRUE(st.ok()) << st.to_string();
+  }
+
+  ~Harness() {
+    state.release();
+    server->shutdown();
+    frontend->shutdown();
+    engine->shutdown();
+    util::fault_configure("");  // never leak an armed site across tests
+  }
+
+  ClientConfig client_config() const {
+    ClientConfig cfg;
+    cfg.port = server->port();
+    cfg.read_timeout_ms = 5000;
+    cfg.backoff_base_ms = 1;
+    cfg.backoff_max_ms = 8;
+    cfg.seed = 7;
+    return cfg;
+  }
+
+  EchoState state;
+  std::unique_ptr<serve::ServeEngine> engine;
+  std::unique_ptr<serve::ServeFrontEnd> frontend;
+  std::unique_ptr<NetServer> server;
+};
+
+WireRequest make_request(std::uint64_t id, float v,
+                         const std::string& tenant = "gold") {
+  WireRequest req;
+  req.client_req_id = id;
+  req.tenant = tenant;
+  req.tag = id + 1;
+  req.input = scalar_input(v);
+  return req;
+}
+
+TEST(NetServer, InferRoundTripIsBitExact) {
+  Harness h;
+  NetClient client(h.client_config());
+  for (int i = 0; i < 8; ++i) {
+    const float v = 1.5f + static_cast<float>(i);
+    auto res = client.infer(make_request(static_cast<std::uint64_t>(i), v));
+    ASSERT_TRUE(res.ok()) << res.status().to_string();
+    EXPECT_EQ(res.value().client_req_id, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(res.value().scheme, "echo");
+    ASSERT_EQ(res.value().output.numel(), 1);
+    // Bit-exact, not approximately: the wire carries raw f32 bits.
+    EXPECT_EQ(std::memcmp(res.value().output.data(), scalar_input(v * 2).data(),
+                          sizeof(float)),
+              0);
+    EXPECT_GT(res.value().server_latency_us, 0.0);
+  }
+  EXPECT_EQ(client.stats().retries, 0u);
+  EXPECT_EQ(h.server->stats().requests, 8u);
+}
+
+TEST(NetServer, HealthProbeJumpsAStalledConnection) {
+  Harness h;
+  h.state.gated = true;
+  NetClient busy(h.client_config());
+  std::thread t([&] {
+    auto res = busy.infer(make_request(1, 3.0f));
+    EXPECT_TRUE(res.ok()) << res.status().to_string();
+  });
+  // Wait until the request is actually inside the server.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (h.server->stats().requests == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // A health probe must be answered while the engine is wedged — readiness
+  // never queues behind inference.
+  NetClient prober(h.client_config());
+  auto health = prober.health();
+  ASSERT_TRUE(health.ok()) << health.status().to_string();
+  EXPECT_EQ(health.value().ready, 1);
+  EXPECT_EQ(health.value().draining, 0);
+  h.state.release();
+  t.join();
+}
+
+TEST(NetServer, UnknownTenantIsRefusedWithoutRetries) {
+  Harness h;
+  NetClient client(h.client_config());
+  auto res = client.infer(make_request(1, 1.0f, "nobody"));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.stats().retries, 0u);  // deterministic refusal: one try
+  // The refusal traveled as a response; the connection is still usable.
+  auto ok = client.infer(make_request(2, 2.0f));
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(client.stats().reconnects, 0u);
+}
+
+TEST(NetServer, GarbageStreamKillsOnlyThatConnection) {
+  Harness h;
+  auto raw = connect_local(h.server->port());
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  std::vector<std::uint8_t> garbage(64);
+  for (std::size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::uint8_t>(0xA5 ^ (i * 31));
+  }
+  ASSERT_TRUE(
+      raw.value().write_all(garbage.data(), garbage.size()).ok());
+  // The server must close this connection (typed kCorruption)...
+  std::uint8_t byte = 0;
+  std::size_t got = 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    const Status s = raw.value().read_some(&byte, 1, &got);
+    if (!s.ok() || got == 0) break;  // closed
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+  }
+  // ...while the rest of the server keeps serving.
+  NetClient client(h.client_config());
+  auto res = client.infer(make_request(1, 4.0f));
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_GE(h.server->stats().decode_errors, 1u);
+}
+
+TEST(NetServer, CorruptPayloadInAValidFrameKeepsTheConnection) {
+  Harness h;
+  auto raw = connect_local(h.server->port());
+  ASSERT_TRUE(raw.ok());
+  Socket& sock = raw.value();
+  sock.set_read_timeout_ms(5000);
+
+  // A perfectly framed request whose payload is not a WireRequest: the
+  // framing layer is intact, so the server answers with a typed error
+  // response instead of dropping the connection.
+  const std::uint8_t junk[] = {9, 9, 9, 9, 9, 9};
+  ASSERT_TRUE(
+      write_frame(sock, FrameType::kInferRequest, junk, sizeof(junk)).ok());
+  Frame frame;
+  Status st;
+  ASSERT_EQ(read_frame(sock, &frame, &st), ReadOutcome::kFrame)
+      << st.to_string();
+  ASSERT_EQ(frame.type, FrameType::kInferResponse);
+  WireResponse res;
+  ASSERT_TRUE(
+      decode_response(frame.payload.data(), frame.payload.size(), &res)
+          .ok());
+  EXPECT_EQ(res.client_req_id, 0u);  // id unknowable from a corrupt payload
+  EXPECT_NE(res.code, 0);
+
+  // Same connection, valid request: still served.
+  std::vector<std::uint8_t> payload;
+  encode_request(make_request(42, 5.0f), &payload);
+  ASSERT_TRUE(write_frame(sock, FrameType::kInferRequest, payload.data(),
+                          payload.size())
+                  .ok());
+  ASSERT_EQ(read_frame(sock, &frame, &st), ReadOutcome::kFrame);
+  WireResponse ok_res;
+  ASSERT_TRUE(decode_response(frame.payload.data(), frame.payload.size(),
+                              &ok_res)
+                  .ok());
+  EXPECT_EQ(ok_res.client_req_id, 42u);
+  EXPECT_EQ(ok_res.code, 0);
+  EXPECT_FLOAT_EQ(ok_res.output[0], 10.0f);
+}
+
+TEST(NetServer, ExpiredDeadlineComesBackTyped) {
+  Harness h;
+  h.state.gated = true;  // the engine cannot serve anything right now
+  ClientConfig cfg = h.client_config();
+  cfg.max_attempts = 2;
+  NetClient client(cfg);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(150);
+  auto res = client.infer(make_request(1, 1.0f), deadline);
+  ASSERT_FALSE(res.ok());
+  // Either the server shed it (deadline passed before execution) or the
+  // client's own budget died waiting — both are the same typed answer.
+  EXPECT_EQ(res.status().code(), StatusCode::kDeadlineExceeded)
+      << res.status().to_string();
+  h.state.release();
+}
+
+TEST(NetServer, AcceptFaultNeverStopsTheAcceptLoop) {
+  Harness h;
+  util::fault_configure("net.accept:1");
+  NetClient client(h.client_config());
+  auto res = client.infer(make_request(1, 2.0f));
+  util::fault_configure("");
+  // The faulted accept() skipped one loop iteration; the kernel kept the
+  // pending connection and the next iteration picked it up.
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_EQ(h.server->stats().accept_errors, 1u);
+}
+
+TEST(NetServer, ReadFaultIsRetriedToSuccess) {
+  Harness h;
+  NetClient client(h.client_config());
+  // Warm connection first so the armed fault lands on request traffic.
+  ASSERT_TRUE(client.infer(make_request(1, 1.0f)).ok());
+  util::fault_configure("net.read:1");
+  auto res = client.infer(make_request(2, 2.0f));
+  util::fault_configure("");
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_FLOAT_EQ(res.value().output[0], 4.0f);
+  EXPECT_GE(client.stats().retries, 1u);
+}
+
+TEST(NetServer, WriteFaultIsRetriedToSuccess) {
+  Harness h;
+  NetClient client(h.client_config());
+  ASSERT_TRUE(client.infer(make_request(1, 1.0f)).ok());
+  util::fault_configure("net.write:1");
+  auto res = client.infer(make_request(2, 3.0f));
+  util::fault_configure("");
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_FLOAT_EQ(res.value().output[0], 6.0f);
+  EXPECT_GE(client.stats().retries, 1u);
+}
+
+TEST(NetServer, FrameCrcCorruptionIsRetriedToSuccess) {
+  Harness h;
+  NetClient client(h.client_config());
+  ASSERT_TRUE(client.infer(make_request(1, 1.0f)).ok());
+  // The next encoded frame (the client's request) carries a post-CRC bit
+  // flip: the sender believes it succeeded, the server detects corruption
+  // and tears the connection down, the client reconnects and retries.
+  util::fault_configure("net.frame_crc:1");
+  auto res = client.infer(make_request(2, 4.0f));
+  util::fault_configure("");
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_FLOAT_EQ(res.value().output[0], 8.0f);
+  EXPECT_GE(client.stats().retries, 1u);
+  EXPECT_GE(h.server->stats().decode_errors, 1u);
+}
+
+TEST(NetServer, SlowlorisIsCutOffAndTheRetrySucceeds) {
+  ServerConfig scfg;
+  scfg.read_timeout_ms = 50;  // the slowloris clock
+  scfg.idle_timeout_ms = 10000;
+  Harness h(scfg);
+  ClientConfig cfg = h.client_config();
+  cfg.slowloris_stall_ms = 400;  // well past the server's patience
+  NetClient client(cfg);
+  ASSERT_TRUE(client.infer(make_request(1, 1.0f)).ok());
+  util::fault_configure("net.slowloris:1");
+  auto res = client.infer(make_request(2, 5.0f));
+  util::fault_configure("");
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_FLOAT_EQ(res.value().output[0], 10.0f);
+  EXPECT_GE(client.stats().retries, 1u);
+  EXPECT_GE(h.server->stats().io_closes, 1u);  // cut off mid-frame
+}
+
+TEST(NetServer, IdleConnectionsAreReapedActiveOnesServed) {
+  ServerConfig scfg;
+  scfg.read_timeout_ms = 20;
+  scfg.idle_timeout_ms = 100;  // five strikes
+  Harness h(scfg);
+  auto raw = connect_local(h.server->port());
+  ASSERT_TRUE(raw.ok());
+  // Do nothing: the server must close the idle connection.
+  std::uint8_t byte = 0;
+  std::size_t got = 1;
+  raw.value().set_read_timeout_ms(5000);
+  const Status s = raw.value().read_some(&byte, 1, &got);
+  EXPECT_TRUE(!s.ok() || got == 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (h.server->stats().idle_closes == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Requests still flow after the reap (retry absorbs any scheduling
+  // hiccup, so this stays robust on a loaded machine).
+  NetClient client(h.client_config());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        client.infer(make_request(static_cast<std::uint64_t>(i), 1.0f)).ok());
+  }
+}
+
+TEST(NetServer, ShutdownHandshakeDrainsInFlightWork) {
+  Harness h;
+  h.state.gated = true;
+  NetClient busy(h.client_config());
+  std::promise<Status> busy_status;
+  std::thread t([&] {
+    auto res = busy.infer(make_request(1, 6.0f));
+    busy_status.set_value(res.ok() ? Status::Ok() : res.status());
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (h.server->stats().requests == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  NetClient stopper(h.client_config());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    h.state.release();
+  });
+  // The ack is the drain barrier for the stopper's connection, and the
+  // shutdown request is visible process-wide.
+  ASSERT_TRUE(stopper.send_shutdown().ok());
+  EXPECT_TRUE(h.server->shutdown_requested());
+
+  // The in-flight request on the other connection still completes.
+  auto fut = busy_status.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_TRUE(fut.get().ok());
+  t.join();
+  releaser.join();
+}
+
+TEST(NetServer, ServesManyConcurrentConnections) {
+  Harness h;
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientConfig cfg = h.client_config();
+      cfg.seed = static_cast<std::uint64_t>(c) + 1;
+      NetClient client(cfg);
+      for (int r = 0; r < kPerClient; ++r) {
+        const auto id = static_cast<std::uint64_t>(c * kPerClient + r);
+        const float v = static_cast<float>(id) * 0.25f;
+        auto res = client.infer(
+            make_request(id, v, c % 2 ? "bronze" : "gold"));
+        if (!res.ok() || res.value().client_req_id != id ||
+            res.value().output[0] != v * 2.0f) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(h.server->stats().requests,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+}
+
+}  // namespace
+}  // namespace odq::net

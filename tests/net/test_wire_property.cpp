@@ -1,0 +1,296 @@
+// Wire message codec properties (docs/serving.md "Wire layout"):
+//
+//   * seeded round trips — decode(encode(m)) == m, and re-encoding the
+//     decoded message is BYTE-IDENTICAL (canonical encoding)
+//   * the corruption matrix — truncation at every prefix length and
+//     seeded bit flips anywhere in the payload produce a typed Status or
+//     (for flips that only change data bits) a clean decode; never a
+//     crash, never an over-read, never an uncapped allocation
+//   * protocol-version skew is kFailedPrecondition, distinct from damage
+//   * the caps: tenant/message strings, tensor rank, element count
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/proptest.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+#include "util/status.hpp"
+
+namespace odq::net {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using util::Status;
+using util::StatusCode;
+
+Tensor random_tensor(util::Rng& rng) {
+  const int rank = rng.uniform_int(1, 4);
+  std::vector<std::int64_t> dims;
+  for (int i = 0; i < rank; ++i) {
+    dims.push_back(rng.uniform_int(1, 5));
+  }
+  Tensor t{Shape(dims)};
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = rng.uniform_f(-4.0f, 4.0f);
+  }
+  return t;
+}
+
+std::string random_name(util::Rng& rng, std::size_t max_len) {
+  const std::size_t n = rng.uniform_u64(max_len + 1);
+  std::string s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>('a' + rng.uniform_u64(26)));
+  }
+  return s;
+}
+
+bool tensors_bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) ==
+         0;
+}
+
+WireRequest random_request(util::Rng& rng) {
+  WireRequest req;
+  req.client_req_id = rng.next_u64();
+  req.tenant = random_name(rng, 16);
+  req.deadline_us = static_cast<std::int64_t>(rng.uniform_u64(1u << 20));
+  req.tag = rng.next_u64();
+  req.input = random_tensor(rng);
+  return req;
+}
+
+WireResponse random_response(util::Rng& rng) {
+  WireResponse res;
+  res.client_req_id = rng.next_u64();
+  // Half ok-with-output, half error-with-message — the two legal shapes.
+  if (rng.bernoulli(0.5)) {
+    res.code = 0;
+    res.output = random_tensor(rng);
+  } else {
+    res.code = static_cast<std::uint8_t>(rng.uniform_int(1, 9));
+    res.message = random_name(rng, 48);
+  }
+  res.scheme = random_name(rng, 12);
+  res.degraded = rng.bernoulli(0.25) ? 1 : 0;
+  res.server_latency_us = rng.uniform(0.0, 1e6);
+  return res;
+}
+
+WireHealth random_health(util::Rng& rng) {
+  WireHealth h;
+  h.ready = rng.bernoulli(0.5) ? 1 : 0;
+  h.draining = rng.bernoulli(0.5) ? 1 : 0;
+  h.degrade_level = static_cast<std::uint32_t>(rng.uniform_u64(3));
+  h.queue_depth = rng.uniform_u64(1000);
+  h.accepted = rng.next_u64() % 100000;
+  h.rejected = rng.next_u64() % 1000;
+  h.shed = rng.next_u64() % 1000;
+  return h;
+}
+
+// Decode under fire must end one of two ways: a clean decode (a flip that
+// only touched data bits) or a typed Status. Crashes and over-reads are
+// what ASan/valgrind-class tooling would catch; the typed-code check is
+// what this asserts directly.
+void expect_typed_or_ok(const Status& s) {
+  if (s.ok()) return;
+  EXPECT_TRUE(s.code() == StatusCode::kCorruption ||
+              s.code() == StatusCode::kFailedPrecondition)
+      << s.to_string();
+}
+
+TEST(WireProperty, RequestRoundTripsByteIdentical) {
+  for (int i = 0; i < 150; ++i) {
+    ODQ_PROP_CASE(c, i);
+    const WireRequest req = random_request(c.rng());
+    std::vector<std::uint8_t> bytes;
+    encode_request(req, &bytes);
+
+    WireRequest back;
+    ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), &back).ok());
+    EXPECT_EQ(back.client_req_id, req.client_req_id);
+    EXPECT_EQ(back.tenant, req.tenant);
+    EXPECT_EQ(back.deadline_us, req.deadline_us);
+    EXPECT_EQ(back.tag, req.tag);
+    EXPECT_TRUE(tensors_bit_equal(back.input, req.input));
+
+    std::vector<std::uint8_t> again;
+    encode_request(back, &again);
+    EXPECT_EQ(again, bytes);
+  }
+}
+
+TEST(WireProperty, ResponseRoundTripsByteIdentical) {
+  for (int i = 0; i < 150; ++i) {
+    ODQ_PROP_CASE(c, i);
+    const WireResponse res = random_response(c.rng());
+    std::vector<std::uint8_t> bytes;
+    encode_response(res, &bytes);
+
+    WireResponse back;
+    ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), &back).ok());
+    EXPECT_EQ(back.client_req_id, res.client_req_id);
+    EXPECT_EQ(back.code, res.code);
+    EXPECT_EQ(back.message, res.message);
+    EXPECT_EQ(back.scheme, res.scheme);
+    EXPECT_EQ(back.degraded, res.degraded);
+    EXPECT_DOUBLE_EQ(back.server_latency_us, res.server_latency_us);
+    if (res.code == 0) {
+      EXPECT_TRUE(tensors_bit_equal(back.output, res.output));
+    } else {
+      EXPECT_EQ(back.output.numel(), 0);
+    }
+
+    std::vector<std::uint8_t> again;
+    encode_response(back, &again);
+    EXPECT_EQ(again, bytes);
+  }
+}
+
+TEST(WireProperty, HealthRoundTripsByteIdentical) {
+  for (int i = 0; i < 150; ++i) {
+    ODQ_PROP_CASE(c, i);
+    const WireHealth h = random_health(c.rng());
+    std::vector<std::uint8_t> bytes;
+    encode_health(h, &bytes);
+
+    WireHealth back;
+    ASSERT_TRUE(decode_health(bytes.data(), bytes.size(), &back).ok());
+    EXPECT_EQ(back.ready, h.ready);
+    EXPECT_EQ(back.draining, h.draining);
+    EXPECT_EQ(back.degrade_level, h.degrade_level);
+    EXPECT_EQ(back.queue_depth, h.queue_depth);
+    EXPECT_EQ(back.accepted, h.accepted);
+    EXPECT_EQ(back.rejected, h.rejected);
+    EXPECT_EQ(back.shed, h.shed);
+
+    std::vector<std::uint8_t> again;
+    encode_health(back, &again);
+    EXPECT_EQ(again, bytes);
+  }
+}
+
+TEST(WireProperty, TruncationAtEveryOffsetIsTypedNeverACrash) {
+  for (int i = 0; i < 20; ++i) {
+    ODQ_PROP_CASE(c, i);
+    const WireRequest req = random_request(c.rng());
+    std::vector<std::uint8_t> bytes;
+    encode_request(req, &bytes);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      WireRequest out;
+      const Status s = decode_request(bytes.data(), len, &out);
+      ASSERT_FALSE(s.ok()) << "prefix of " << len << " bytes decoded";
+      // The version field survives every truncation longer than it, so
+      // all failures here are damage, not skew.
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.to_string();
+    }
+
+    const WireResponse res = random_response(c.rng());
+    bytes.clear();
+    encode_response(res, &bytes);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      WireResponse out;
+      const Status s = decode_response(bytes.data(), len, &out);
+      ASSERT_FALSE(s.ok());
+      EXPECT_EQ(s.code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(WireProperty, SeededBitFlipsNeverCrashOrOverRead) {
+  for (int i = 0; i < 300; ++i) {
+    ODQ_PROP_CASE(c, i);
+    util::Rng& rng = c.rng();
+    const WireRequest req = random_request(rng);
+    std::vector<std::uint8_t> bytes;
+    encode_request(req, &bytes);
+    std::vector<std::uint8_t> mutated = bytes;
+    const int flips = rng.uniform_int(1, 8);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t byte = rng.uniform_u64(mutated.size());
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+    }
+    WireRequest out;
+    expect_typed_or_ok(decode_request(mutated.data(), mutated.size(), &out));
+
+    const WireResponse res = random_response(rng);
+    bytes.clear();
+    encode_response(res, &bytes);
+    mutated = bytes;
+    const std::size_t byte = rng.uniform_u64(mutated.size());
+    mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+    WireResponse rout;
+    expect_typed_or_ok(
+        decode_response(mutated.data(), mutated.size(), &rout));
+  }
+}
+
+TEST(WireProperty, VersionSkewIsFailedPreconditionNotCorruption) {
+  WireRequest req;
+  req.client_req_id = 7;
+  req.input = Tensor(Shape{2, 2});
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, &bytes);
+  ASSERT_GE(bytes.size(), 4u);
+  bytes[0] = static_cast<std::uint8_t>(kWireProtocolVersion + 1);
+
+  WireRequest out;
+  const Status s = decode_request(bytes.data(), bytes.size(), &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.to_string();
+}
+
+TEST(WireProperty, TrailingGarbageIsCorruption) {
+  WireRequest req;
+  req.input = Tensor(Shape{3});
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, &bytes);
+  bytes.push_back(0xAB);
+
+  WireRequest out;
+  const Status s = decode_request(bytes.data(), bytes.size(), &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(WireProperty, OversizedTenantIsRejectedOnDecode) {
+  WireRequest req;
+  req.tenant = std::string(kMaxWireTenantBytes + 1, 't');
+  req.input = Tensor(Shape{2});
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, &bytes);
+
+  WireRequest out;
+  const Status s = decode_request(bytes.data(), bytes.size(), &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(WireProperty, ErrorResponseWithOutputShapeMismatchIsRejected) {
+  // (code == 0) iff output-present is a decode invariant; a response
+  // claiming an error code must not also carry a tensor.
+  WireResponse res;
+  res.code = 0;
+  res.output = Tensor(Shape{2});
+  std::vector<std::uint8_t> bytes;
+  encode_response(res, &bytes);
+  // Flip the code byte from 0 to an error while leaving the tensor in
+  // place: offset = version(4) + client_req_id(8).
+  bytes[12] = 14;  // kUnavailable
+  WireResponse out;
+  const Status s = decode_response(bytes.data(), bytes.size(), &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace odq::net

@@ -68,13 +68,19 @@
 //   --fail-on-drift       exit 1 if any drift alert fired
 //   --require-drift       exit 1 if NO drift alert fired (shift tests)
 //   --quiet               suppress the human-readable summary on stderr
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cinttypes>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -83,6 +89,10 @@
 
 #include "core/odq.hpp"
 #include "data/synthetic.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
 #include "nn/init.hpp"
 #include "nn/models.hpp"
 #include "obs/histogram.hpp"
@@ -91,10 +101,12 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
+#include "serve/frontend.hpp"
 #include "serve/session.hpp"
 #include "serve/shadow.hpp"
 #include "tensor/tensor.hpp"
 #include "tool_main.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/json_read.hpp"
 #include "util/rng.hpp"
@@ -139,6 +151,23 @@ struct Options {
   float input_shift = 0.0f;
   bool fail_on_drift = false;
   bool require_drift = false;
+  // Networked serving (docs/serving.md). mode selects the in-process load
+  // generator ("") or one of the net roles.
+  std::string mode;  // "" | "net-server" | "net-client" | "net-bench"
+  std::string port_file;
+  std::string result_path;  // net-client: where to write the result JSON
+  int port = 0;
+  std::string tenant = "gold";
+  std::int64_t deadline_ms = 0;        // client per-request budget; 0 = none
+  std::int64_t read_timeout_ms = 500;  // server receive timeout (slowloris)
+  std::int64_t idle_timeout_ms = 30000;
+  std::int64_t degrade_high = 0;  // 0 = derived from queue_cap
+  std::int64_t shed_high = 0;
+  std::int64_t low_water = 0;
+  std::int64_t down_hold = 4;
+  int client_procs = 2;         // net-bench: processes at 1x load
+  std::int64_t req_base = 0;    // net-client: first request id
+  std::int64_t overload_slo_ms = 0;  // net-bench: admitted p99 SLO at 2x
 };
 
 int usage() {
@@ -158,7 +187,17 @@ int usage() {
       "                 [--drift-window n] [--drift-tv t]\n"
       "                 [--flight-dump dump.bin] [--drift-snapshot out.json]\n"
       "                 [--input-shift f] [--fail-on-drift] "
-      "[--require-drift]\n");
+      "[--require-drift]\n"
+      "       odq_serve --net-server  [--port n] [--port-file p]\n"
+      "                 [--read-timeout-ms n] [--idle-timeout-ms n]\n"
+      "                 [--degrade-high n] [--shed-high n] [--low-water n]\n"
+      "                 [--down-hold n] + model/engine flags\n"
+      "       odq_serve --net-client --port n [--tenant t] [--deadline-ms n]\n"
+      "                 [--req-base n] [--result out.json] [--verify]\n"
+      "                 + model/load flags\n"
+      "       odq_serve --net-bench  [--client-procs n] [--deadline-ms n]\n"
+      "                 [--overload-slo-ms n] [--json out.json] [--verify]\n"
+      "                 + model/engine/load flags\n");
   return 2;
 }
 
@@ -210,10 +249,45 @@ tensor::Tensor make_request_input(const Options& opt, std::uint64_t id,
   return x;
 }
 
-bool bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
-  if (a.shape() != b.shape()) return false;
-  return std::memcmp(a.data(), b.data(),
-                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+// Bit-compare two tensors. Returns -1 when identical, -2 on a shape
+// mismatch, else the first mismatching flat element index — so verify
+// failures report the exact (request, element) pair, not just "diverged".
+std::int64_t first_mismatch(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.shape() != b.shape()) return -2;
+  if (std::memcmp(a.data(), b.data(),
+                  static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0) {
+    return -1;
+  }
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) return i;
+  }
+  return -1;  // unreachable: memcmp said they differ
+}
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Report one verify divergence with the exact element and both bit
+// patterns (mismatch == -2 means the shapes themselves disagree).
+void print_mismatch(const char* what, std::int64_t request,
+                    std::int64_t mismatch, const tensor::Tensor& expected,
+                    const tensor::Tensor& got) {
+  if (mismatch == -2) {
+    std::fprintf(stderr, "odq_serve: %s MISMATCH request %lld: shape differs\n",
+                 what, static_cast<long long>(request));
+    return;
+  }
+  std::fprintf(stderr,
+               "odq_serve: %s MISMATCH request %lld element %lld: expected "
+               "%.9g (0x%08x) got %.9g (0x%08x)\n",
+               what, static_cast<long long>(request),
+               static_cast<long long>(mismatch),
+               static_cast<double>(expected[mismatch]),
+               float_bits(expected[mismatch]),
+               static_cast<double>(got[mismatch]), float_bits(got[mismatch]));
 }
 
 // "x.json" -> "x.prom"; anything else gets ".prom" appended.
@@ -223,6 +297,747 @@ std::string prom_path_for(const std::string& json_path) {
     return json_path.substr(0, json_path.size() - 5) + ".prom";
   }
   return json_path + ".prom";
+}
+
+// ---------------------------------------------------------------------------
+// Networked serving modes (docs/serving.md).
+// ---------------------------------------------------------------------------
+
+tensor::Shape input_shape_for(const Options& opt) {
+  return (opt.model == "lenet" || opt.model == "lenet5")
+             ? tensor::Shape{1, 28, 28}
+             : tensor::Shape{3, 32, 32};
+}
+
+// tmp + rename so a polling reader never sees a partial write.
+util::Status write_text_file_atomic(const std::string& path,
+                                    const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status(util::StatusCode::kIoError, "cannot open " + tmp);
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status(util::StatusCode::kIoError, "cannot write " + path);
+  }
+  return util::Status::Ok();
+}
+
+// --net-server: serve the engine over TCP until a client sends the
+// kShutdown frame, then drain (connections -> front end -> engine) and
+// exit 0. The tenant roster is fixed — "gold" (guaranteed, weight 4) and
+// "batch" (best-effort, weight 1) — so every process in a multi-process
+// run agrees on admission semantics without a config file.
+int run_net_server(const Options& opt) {
+  serve::EngineConfig ecfg;
+  ecfg.num_workers = opt.workers;
+  ecfg.queue_capacity = static_cast<std::size_t>(opt.queue_cap);
+  ecfg.max_batch = static_cast<std::size_t>(opt.max_batch);
+  ecfg.flush_timeout_us = opt.flush_us;
+  ecfg.slo_us = opt.slo_us;
+  serve::ServeEngine engine(ecfg, [&](int) {
+    std::unique_ptr<serve::ModelSession> s = make_session(opt);
+    core::OdqConfig cfg;
+    cfg.threshold = opt.threshold;
+    s->set_degraded_executor(serve::make_conv_executor("static_int8", cfg),
+                             "static_int8");
+    return s;
+  });
+
+  const auto cap = static_cast<std::size_t>(opt.queue_cap);
+  serve::FrontEndConfig fcfg;
+  serve::TenantSpec gold;
+  gold.name = "gold";
+  gold.weight = 4.0;
+  gold.queue_limit = cap * 4;
+  serve::TenantSpec batch;
+  batch.name = "batch";
+  batch.weight = 1.0;
+  batch.queue_limit = cap * 4;
+  batch.best_effort = true;
+  fcfg.tenants = {gold, batch};
+  fcfg.degrade.degrade_high =
+      opt.degrade_high > 0 ? static_cast<std::size_t>(opt.degrade_high) : cap;
+  fcfg.degrade.shed_high =
+      opt.shed_high > 0 ? static_cast<std::size_t>(opt.shed_high) : 3 * cap;
+  fcfg.degrade.low_water =
+      opt.low_water > 0 ? static_cast<std::size_t>(opt.low_water) : cap / 4;
+  fcfg.degrade.down_hold = static_cast<int>(opt.down_hold);
+  serve::ServeFrontEnd frontend(engine, std::move(fcfg));
+
+  net::ServerConfig scfg;
+  scfg.port = static_cast<std::uint16_t>(opt.port);
+  scfg.read_timeout_ms = opt.read_timeout_ms;
+  scfg.idle_timeout_ms = opt.idle_timeout_ms;
+  scfg.default_tenant = "gold";
+  net::NetServer server(frontend, scfg);
+  util::Status st = server.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "odq_serve: --net-server: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  if (!opt.port_file.empty()) {
+    st = write_text_file_atomic(opt.port_file,
+                                std::to_string(server.port()) + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "odq_serve: --port-file: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+  }
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "odq_serve: net server on 127.0.0.1:%u (%s/%s, %d "
+                 "workers)\n",
+                 server.port(), opt.model.c_str(), opt.scheme.c_str(),
+                 opt.workers);
+  }
+
+  server.wait_for_shutdown_request();
+  // Drain order matters: connections first (their writers need live engine
+  // workers to fulfill in-flight futures), then the tenant queues, then
+  // the engine itself.
+  server.shutdown();
+  frontend.shutdown();
+  engine.shutdown();
+
+  if (!opt.quiet) {
+    const net::ServerStats ns = server.stats();
+    const serve::EngineStats es = engine.stats();
+    std::fprintf(stderr,
+                 "odq_serve: net server drained: %" PRIu64 " conn(s), %" PRIu64
+                 " request(s), %" PRIu64 " health probe(s), %" PRIu64
+                 " decode error(s), %" PRIu64 " accept error(s)\n",
+                 ns.connections, ns.requests, ns.health_probes,
+                 ns.decode_errors, ns.accept_errors);
+    std::fprintf(stderr,
+                 "  engine: %" PRIu64 " completed, %" PRIu64 " degraded, %"
+                 PRIu64 " deadline-expired, %" PRIu64 " rejected\n",
+                 es.completed, es.degraded, es.deadline_exceeded, es.rejected);
+    for (const auto& [name, ts] : frontend.all_tenant_stats()) {
+      std::fprintf(stderr,
+                   "  tenant %s: accepted %" PRIu64 " rejected %" PRIu64
+                   " shed %" PRIu64 " deadline-shed %" PRIu64 " degraded %"
+                   PRIu64 "\n",
+                   name.c_str(), ts.accepted, ts.rejected, ts.shed,
+                   ts.deadline_shed, ts.degraded);
+    }
+  }
+  return 0;
+}
+
+// Per-process load accounting for --net-client (and the aggregation the
+// bench driver does over client result files).
+struct NetLoadResult {
+  std::int64_t sent = 0;
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;  // kResourceExhausted (tenant queue limit)
+  std::int64_t shed = 0;      // kUnavailable (overload / shutdown)
+  std::int64_t deadline = 0;  // kDeadlineExceeded
+  std::int64_t other = 0;     // anything else (corruption, io, ...)
+  std::int64_t degraded = 0;  // ok responses served on the degraded path
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t give_ups = 0;
+  std::vector<double> ok_latency_ms;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  bool bit_identical = true;
+
+  void merge(const NetLoadResult& o) {
+    sent += o.sent;
+    ok += o.ok;
+    rejected += o.rejected;
+    shed += o.shed;
+    deadline += o.deadline;
+    other += o.other;
+    degraded += o.degraded;
+    retries += o.retries;
+    reconnects += o.reconnects;
+    give_ups += o.give_ups;
+    ok_latency_ms.insert(ok_latency_ms.end(), o.ok_latency_ms.begin(),
+                         o.ok_latency_ms.end());
+    p50_ms = std::max(p50_ms, o.p50_ms);
+    p95_ms = std::max(p95_ms, o.p95_ms);
+    p99_ms = std::max(p99_ms, o.p99_ms);
+    bit_identical = bit_identical && o.bit_identical;
+    conservation_ok = conservation_ok && o.conservation_ok;
+  }
+
+  bool conservation_ok = true;  // sent == ok + every error class
+  void finish() {
+    p50_ms = util::percentile(ok_latency_ms, 0.50);
+    p95_ms = util::percentile(ok_latency_ms, 0.95);
+    p99_ms = util::percentile(ok_latency_ms, 0.99);
+    conservation_ok =
+        sent == ok + rejected + shed + deadline + other;
+  }
+};
+
+// --net-client: drive `--clients` threads of synchronous requests against
+// --port, classify every outcome, optionally verify ok responses
+// bit-for-bit against a local oracle replica (the cross-process version of
+// --verify: same deterministic inputs, same checkpoint, same executor).
+int run_net_client(const Options& opt) {
+  if (opt.port <= 0) {
+    std::fprintf(stderr, "odq_serve: --net-client needs --port\n");
+    return 2;
+  }
+  const tensor::Shape input_chw = input_shape_for(opt);
+
+  // Verify oracles, built lazily under a mutex (requests are wire-bound;
+  // oracle evaluation is the rare path). Degraded responses check against
+  // the degraded scheme's executor — the server tells us which path served
+  // each request.
+  std::mutex oracle_mu;
+  std::unique_ptr<serve::ModelSession> oracle_full;
+  std::unique_ptr<serve::ModelSession> oracle_degraded;
+
+  const std::int64_t n = opt.requests;
+  std::vector<NetLoadResult> per_thread(
+      static_cast<std::size_t>(opt.clients));
+  std::vector<std::thread> threads;
+  const std::int64_t per =
+      (n + opt.clients - 1) / static_cast<std::int64_t>(opt.clients);
+  for (int t = 0; t < opt.clients; ++t) {
+    const std::int64_t lo = t * per;
+    const std::int64_t hi = std::min<std::int64_t>(n, lo + per);
+    if (lo >= hi) break;
+    threads.emplace_back([&, lo, hi, t] {
+      NetLoadResult& agg = per_thread[static_cast<std::size_t>(t)];
+      net::ClientConfig ccfg;
+      ccfg.port = static_cast<std::uint16_t>(opt.port);
+      ccfg.seed = opt.seed + 0x9E3779B9ULL *
+                                 static_cast<std::uint64_t>(
+                                     opt.req_base + t + 1);
+      net::NetClient client(ccfg);
+      for (std::int64_t r = lo; r < hi; ++r) {
+        const std::int64_t id = opt.req_base + r;
+        net::WireRequest req;
+        req.client_req_id = static_cast<std::uint64_t>(id);
+        req.tenant = opt.tenant;
+        // +1: wire tag 0 means "engine-assigned"; ids start at 0.
+        req.tag = static_cast<std::uint64_t>(id) + 1;
+        req.input = make_request_input(opt, static_cast<std::uint64_t>(id),
+                                       input_chw);
+        auto deadline = std::chrono::steady_clock::time_point::max();
+        if (opt.deadline_ms > 0) {
+          deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(opt.deadline_ms);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        auto res = client.infer(req, deadline);
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        ++agg.sent;
+        if (!res.ok()) {
+          switch (res.status().code()) {
+            case util::StatusCode::kResourceExhausted:
+              ++agg.rejected;
+              break;
+            case util::StatusCode::kUnavailable:
+              ++agg.shed;
+              break;
+            case util::StatusCode::kDeadlineExceeded:
+              ++agg.deadline;
+              break;
+            default:
+              ++agg.other;
+              break;
+          }
+          continue;
+        }
+        ++agg.ok;
+        agg.ok_latency_ms.push_back(ms);
+        const net::WireResponse& wire = res.value();
+        if (wire.degraded != 0) ++agg.degraded;
+        if (opt.verify) {
+          std::lock_guard<std::mutex> lock(oracle_mu);
+          core::OdqConfig cfg;
+          cfg.threshold = opt.threshold;
+          std::unique_ptr<serve::ModelSession>& oracle =
+              wire.degraded != 0 ? oracle_degraded : oracle_full;
+          if (oracle == nullptr) {
+            if (wire.degraded != 0) {
+              oracle = std::make_unique<serve::ModelSession>(
+                  build_replica(opt),
+                  serve::make_conv_executor("static_int8", cfg),
+                  "static_int8");
+            } else {
+              oracle = make_session(opt);
+            }
+          }
+          tensor::Tensor expected = oracle->run(req.input);
+          const std::int64_t mismatch =
+              first_mismatch(expected, wire.output);
+          if (mismatch != -1) {
+            print_mismatch("net-verify", id, mismatch, expected,
+                           wire.output);
+            agg.bit_identical = false;
+          }
+        }
+      }
+      const net::ClientStats& cs = client.stats();
+      agg.retries = cs.retries;
+      agg.reconnects = cs.reconnects;
+      agg.give_ups = cs.deadline_give_ups;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  NetLoadResult total;
+  for (const NetLoadResult& r : per_thread) total.merge(r);
+  total.finish();
+
+  if (!opt.result_path.empty()) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.kv("sent", total.sent);
+    w.kv("ok", total.ok);
+    w.kv("rejected", total.rejected);
+    w.kv("shed", total.shed);
+    w.kv("deadline", total.deadline);
+    w.kv("other", total.other);
+    w.kv("degraded", total.degraded);
+    w.kv("retries", static_cast<std::int64_t>(total.retries));
+    w.kv("reconnects", static_cast<std::int64_t>(total.reconnects));
+    w.kv("give_ups", static_cast<std::int64_t>(total.give_ups));
+    w.kv("p50_ms", total.p50_ms);
+    w.kv("p95_ms", total.p95_ms);
+    w.kv("p99_ms", total.p99_ms);
+    w.kv("bit_identical", total.bit_identical ? 1 : 0);
+    w.kv("conservation_ok", total.conservation_ok ? 1 : 0);
+    w.end_object();
+    const util::Status st =
+        write_text_file_atomic(opt.result_path, w.take() + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "odq_serve: --result: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+  }
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "odq_serve: net client [%s]: %lld sent, %lld ok, %lld "
+                 "rejected, %lld shed, %lld deadline, %lld other, %lld "
+                 "degraded, %" PRIu64 " retries  p99 %.2f ms\n",
+                 opt.tenant.c_str(), static_cast<long long>(total.sent),
+                 static_cast<long long>(total.ok),
+                 static_cast<long long>(total.rejected),
+                 static_cast<long long>(total.shed),
+                 static_cast<long long>(total.deadline),
+                 static_cast<long long>(total.other),
+                 static_cast<long long>(total.degraded), total.retries,
+                 total.p99_ms);
+  }
+  if (!total.conservation_ok) {
+    std::fprintf(stderr, "odq_serve: net client response conservation "
+                 "violated (sent != sum of outcomes)\n");
+    return 1;
+  }
+  return total.bit_identical ? 0 : 1;
+}
+
+pid_t spawn_self(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv("/proc/self/exe", argv.data());
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+// waitpid with a wall-clock bound; on timeout the child is SIGKILLed and
+// reaped (false = wedge, the thing the chaos job asserts never happens).
+bool wait_child(pid_t pid, int* exit_code, std::int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+      return true;
+    }
+    if (r < 0) {
+      *exit_code = 128;
+      return false;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      *exit_code = 137;
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+struct PhaseOutcome {
+  std::string label;
+  int procs = 0;
+  NetLoadResult totals;
+  double seconds = 0.0;
+  double goodput_rps = 0.0;
+  int max_degrade_level = 0;
+  std::uint64_t health_probes = 0;
+  std::uint64_t health_failures = 0;
+  bool health_ok = false;  // at least one probe answered during the phase
+  bool clients_ok = true;  // every client process exited 0 in time
+};
+
+// --net-bench: spawn one --net-server process and waves of --net-client
+// processes at 0.5x / 1x / 2x the configured process count, measure
+// goodput and tail latency per phase, then run the kShutdown handshake
+// and require a clean, bounded drain. Overload behavior is asserted via
+// the exit code (no collapse at 2x, health answered throughout);
+// deterministic cells land in the "net" bench-JSON section.
+int run_net_bench(const Options& opt) {
+  // The driver itself must stay fault-free: children inherit ODQ_FAULT
+  // from the environment, but the parent's own health probes and shutdown
+  // handshake are control plane, not the system under test.
+  util::fault_configure("");
+
+  const std::string prefix =
+      (opt.json_path.empty() ? std::string("net_bench") : opt.json_path) +
+      "." + std::to_string(static_cast<long long>(::getpid()));
+  const std::string port_file = prefix + ".port";
+  std::vector<std::string> cleanup{port_file};
+
+  auto arg = [](std::int64_t v) { return std::to_string(v); };
+  std::vector<std::string> sargs = {
+      "odq_serve",    "--net-server",
+      "--model",      opt.model,
+      "--scheme",     opt.scheme,
+      "--workers",    arg(opt.workers),
+      "--queue-cap",  arg(opt.queue_cap),
+      "--max-batch",  arg(opt.max_batch),
+      "--flush-us",   arg(opt.flush_us),
+      "--threshold",  std::to_string(opt.threshold),
+      "--width",      arg(opt.width),
+      "--seed",       arg(static_cast<std::int64_t>(opt.seed)),
+      "--read-timeout-ms", arg(opt.read_timeout_ms),
+      "--idle-timeout-ms", arg(opt.idle_timeout_ms),
+      "--down-hold",  arg(opt.down_hold),
+      "--port-file",  port_file,
+      "--quiet"};
+  if (!opt.checkpoint.empty()) {
+    sargs.push_back("--checkpoint");
+    sargs.push_back(opt.checkpoint);
+  }
+  if (opt.degrade_high > 0) {
+    sargs.push_back("--degrade-high");
+    sargs.push_back(arg(opt.degrade_high));
+  }
+  if (opt.shed_high > 0) {
+    sargs.push_back("--shed-high");
+    sargs.push_back(arg(opt.shed_high));
+  }
+  if (opt.low_water > 0) {
+    sargs.push_back("--low-water");
+    sargs.push_back(arg(opt.low_water));
+  }
+  const pid_t server_pid = spawn_self(sargs);
+
+  auto fail = [&](const char* why) {
+    std::fprintf(stderr, "odq_serve: --net-bench: %s\n", why);
+    ::kill(server_pid, SIGKILL);
+    int code = 0;
+    ::waitpid(server_pid, &code, 0);
+    for (const std::string& p : cleanup) std::remove(p.c_str());
+    return 1;
+  };
+
+  // Wait for the server to publish its port (written atomically).
+  int port = 0;
+  {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(20);
+    while (port == 0) {
+      std::FILE* f = std::fopen(port_file.c_str(), "r");
+      if (f != nullptr) {
+        if (std::fscanf(f, "%d", &port) != 1) port = 0;
+        std::fclose(f);
+      }
+      if (port != 0) break;
+      int code = 0;
+      if (::waitpid(server_pid, &code, WNOHANG) == server_pid) {
+        std::fprintf(stderr,
+                     "odq_serve: --net-bench: server exited before "
+                     "publishing a port\n");
+        for (const std::string& p : cleanup) std::remove(p.c_str());
+        return 1;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        return fail("timed out waiting for the server port file");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  const int procs_1x = std::max(1, opt.client_procs);
+  const struct {
+    const char* label;
+    int procs;
+  } phases[3] = {{"0.5x", std::max(1, procs_1x / 2)},
+                 {"1x", procs_1x},
+                 {"2x", 2 * procs_1x}};
+  std::vector<PhaseOutcome> outcomes;
+  std::int64_t req_base = 0;
+
+  for (const auto& phase : phases) {
+    PhaseOutcome out;
+    out.label = phase.label;
+    out.procs = phase.procs;
+
+    // Health poller: the "is the server still answering" probe that runs
+    // *during* the load, including at 2x overload.
+    std::atomic<bool> poll_stop{false};
+    std::thread poller([&] {
+      net::ClientConfig hcfg;
+      hcfg.port = static_cast<std::uint16_t>(port);
+      net::NetClient probe(hcfg);
+      while (!poll_stop.load(std::memory_order_relaxed)) {
+        auto h = probe.health();
+        ++out.health_probes;
+        if (h.ok()) {
+          out.health_ok = true;
+          out.max_degrade_level =
+              std::max(out.max_degrade_level,
+                       static_cast<int>(h.value().degrade_level));
+        } else {
+          ++out.health_failures;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+
+    util::WallTimer timer;
+    std::vector<pid_t> pids;
+    std::vector<std::string> results;
+    for (int i = 0; i < phase.procs; ++i) {
+      const std::string result = prefix + "." + phase.label + ".client" +
+                                 std::to_string(i) + ".json";
+      results.push_back(result);
+      cleanup.push_back(result);
+      std::vector<std::string> cargs = {
+          "odq_serve",  "--net-client",
+          "--model",    opt.model,
+          "--scheme",   opt.scheme,
+          "--threshold", std::to_string(opt.threshold),
+          "--width",    arg(opt.width),
+          "--seed",     arg(static_cast<std::int64_t>(opt.seed)),
+          "--port",     arg(port),
+          "--clients",  arg(opt.clients),
+          "--requests", arg(opt.requests),
+          // Even processes drive the guaranteed tenant, odd ones the
+          // best-effort tenant that absorbs overload.
+          "--tenant",   (i % 2 == 0) ? "gold" : "batch",
+          "--req-base", arg(req_base),
+          "--result",   result,
+          "--quiet"};
+      if (!opt.checkpoint.empty()) {
+        cargs.push_back("--checkpoint");
+        cargs.push_back(opt.checkpoint);
+      }
+      if (opt.deadline_ms > 0) {
+        cargs.push_back("--deadline-ms");
+        cargs.push_back(arg(opt.deadline_ms));
+      }
+      if (opt.verify) cargs.push_back("--verify");
+      req_base += opt.requests;
+      pids.push_back(spawn_self(cargs));
+    }
+    for (const pid_t pid : pids) {
+      int code = 0;
+      if (!wait_child(pid, &code, 300000) || code != 0) {
+        out.clients_ok = false;
+      }
+    }
+    out.seconds = timer.seconds();
+    poll_stop.store(true, std::memory_order_relaxed);
+    poller.join();
+
+    for (const std::string& result : results) {
+      auto parsed = util::json_try_parse_file(result);
+      if (!parsed.ok()) {
+        out.clients_ok = false;
+        continue;
+      }
+      const util::JsonValue& v = parsed.value();
+      NetLoadResult r;
+      r.sent = static_cast<std::int64_t>(v.at("sent").num);
+      r.ok = static_cast<std::int64_t>(v.at("ok").num);
+      r.rejected = static_cast<std::int64_t>(v.at("rejected").num);
+      r.shed = static_cast<std::int64_t>(v.at("shed").num);
+      r.deadline = static_cast<std::int64_t>(v.at("deadline").num);
+      r.other = static_cast<std::int64_t>(v.at("other").num);
+      r.degraded = static_cast<std::int64_t>(v.at("degraded").num);
+      r.retries = static_cast<std::uint64_t>(v.at("retries").num);
+      r.reconnects = static_cast<std::uint64_t>(v.at("reconnects").num);
+      r.give_ups = static_cast<std::uint64_t>(v.at("give_ups").num);
+      r.p50_ms = v.at("p50_ms").num;
+      r.p95_ms = v.at("p95_ms").num;
+      r.p99_ms = v.at("p99_ms").num;
+      r.bit_identical = v.at("bit_identical").num != 0;
+      r.conservation_ok = v.at("conservation_ok").num != 0;
+      out.totals.merge(r);
+    }
+    out.goodput_rps = out.seconds > 0
+                          ? static_cast<double>(out.totals.ok) / out.seconds
+                          : 0.0;
+    if (!opt.quiet) {
+      std::fprintf(stderr,
+                   "odq_serve: net-bench phase %-4s %d proc(s): %lld ok / "
+                   "%lld sent  goodput %.1f req/s  p99 %.2f ms  shed %lld  "
+                   "degraded %lld  level<=%d\n",
+                   out.label.c_str(), out.procs,
+                   static_cast<long long>(out.totals.ok),
+                   static_cast<long long>(out.totals.sent), out.goodput_rps,
+                   out.totals.p99_ms, static_cast<long long>(out.totals.shed),
+                   static_cast<long long>(out.totals.degraded),
+                   out.max_degrade_level);
+    }
+    outcomes.push_back(std::move(out));
+  }
+
+  // Clean-stop handshake + bounded drain.
+  bool shutdown_ack_ok = false;
+  {
+    net::ClientConfig ccfg;
+    ccfg.port = static_cast<std::uint16_t>(port);
+    net::NetClient stopper(ccfg);
+    shutdown_ack_ok = stopper.send_shutdown().ok();
+  }
+  int server_code = -1;
+  const bool clean_drain =
+      wait_child(server_pid, &server_code, 30000) && server_code == 0;
+  for (const std::string& p : cleanup) std::remove(p.c_str());
+
+  // Overload verdicts.
+  bool all_clients_ok = true, all_health_ok = true, conservation_ok = true;
+  bool bit_identical = true;
+  for (const PhaseOutcome& out : outcomes) {
+    all_clients_ok = all_clients_ok && out.clients_ok;
+    all_health_ok = all_health_ok && out.health_ok;
+    conservation_ok = conservation_ok && out.totals.conservation_ok;
+    bit_identical = bit_identical && out.totals.bit_identical;
+  }
+  const double goodput_1x = outcomes[1].goodput_rps;
+  const double goodput_2x = outcomes[2].goodput_rps;
+  const bool goodput_ok =
+      goodput_1x > 0.0 && goodput_2x >= 0.9 * goodput_1x;
+  const bool slo_ok = opt.overload_slo_ms <= 0 ||
+                      outcomes[2].totals.p99_ms <=
+                          static_cast<double>(opt.overload_slo_ms);
+
+  if (!opt.json_path.empty()) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.kv("bench", "odq_serve_net");
+    w.kv("reproduces",
+         "multi-process serving over TCP: admission, WFQ, degradation, "
+         "clean drain under overload");
+    w.kv("scale", opt.model);
+    w.key("rows");
+    w.begin_array();
+    // Deterministic cells: protocol constants and the invariants the exit
+    // code enforces (all pinned 1 on a passing run).
+    w.begin_object();
+    w.kv("section", "net");
+    w.kv("model", opt.model);
+    w.kv("scheme", opt.scheme);
+    w.kv("protocol_version",
+         static_cast<std::int64_t>(net::kWireProtocolVersion));
+    w.kv("frame_header_bytes",
+         static_cast<std::int64_t>(net::kFrameHeaderBytes));
+    w.kv("frame_trailer_bytes",
+         static_cast<std::int64_t>(net::kFrameTrailerBytes));
+    w.kv("phases", static_cast<std::int64_t>(outcomes.size()));
+    w.kv("conservation_ok", conservation_ok ? 1 : 0);
+    w.kv("health_ok", all_health_ok ? 1 : 0);
+    w.kv("shutdown_ack_ok", shutdown_ack_ok ? 1 : 0);
+    w.kv("clean_drain", clean_drain ? 1 : 0);
+    w.kv("goodput_ok", goodput_ok ? 1 : 0);
+    if (opt.verify) w.kv("bit_identical", bit_identical ? 1 : 0);
+    w.end_object();
+    for (const PhaseOutcome& out : outcomes) {
+      w.begin_object();
+      w.kv("section", "net_host_wall_clock");
+      w.kv("model", opt.model);
+      w.kv("scheme", opt.scheme);
+      w.kv("phase", out.label);
+      w.kv("procs", out.procs);
+      w.kv("sent", out.totals.sent);
+      w.kv("ok", out.totals.ok);
+      w.kv("rejected", out.totals.rejected);
+      w.kv("shed", out.totals.shed);
+      w.kv("deadline", out.totals.deadline);
+      w.kv("other", out.totals.other);
+      w.kv("degraded", out.totals.degraded);
+      w.kv("retries", static_cast<std::int64_t>(out.totals.retries));
+      w.kv("reconnects", static_cast<std::int64_t>(out.totals.reconnects));
+      w.kv("p50_ms", out.totals.p50_ms);
+      w.kv("p95_ms", out.totals.p95_ms);
+      w.kv("p99_ms", out.totals.p99_ms);
+      w.kv("goodput_rps", out.goodput_rps);
+      w.kv("total_seconds", out.seconds);
+      w.kv("max_degrade_level", out.max_degrade_level);
+      w.kv("health_probes",
+           static_cast<std::int64_t>(out.health_probes));
+      w.kv("health_failures",
+           static_cast<std::int64_t>(out.health_failures));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    const util::Status st =
+        write_text_file_atomic(opt.json_path, w.take() + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "odq_serve: --json: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+  }
+
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "odq_serve: net-bench goodput 1x %.1f -> 2x %.1f req/s "
+                 "(%s), health %s, shutdown ack %s, drain %s\n",
+                 goodput_1x, goodput_2x, goodput_ok ? "no collapse"
+                                                    : "COLLAPSED",
+                 all_health_ok ? "answered" : "UNANSWERED",
+                 shutdown_ack_ok ? "ok" : "MISSING",
+                 clean_drain ? "clean" : "WEDGED");
+  }
+
+  int rc = 0;
+  auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "odq_serve: --net-bench FAILED: %s\n", what);
+      rc = 1;
+    }
+  };
+  check(all_clients_ok, "a client process failed or timed out");
+  check(conservation_ok, "response conservation violated");
+  check(all_health_ok, "health probe went unanswered during a phase");
+  check(shutdown_ack_ok, "no shutdown ack from the server");
+  check(clean_drain, "server did not drain and exit cleanly");
+  check(goodput_ok, "goodput collapsed at 2x overload");
+  check(slo_ok, "admitted p99 over --overload-slo-ms at 2x");
+  if (opt.verify) check(bit_identical, "cross-process bit-identity failed");
+  return rc;
 }
 
 }  // namespace
@@ -292,6 +1107,40 @@ int tool_main(int argc, char** argv) {
       opt.width = std::atoll(next("--width"));
     } else if (a == "--seed") {
       opt.seed = std::strtoull(next("--seed"), nullptr, 0);
+    } else if (a == "--net-server") {
+      opt.mode = "net-server";
+    } else if (a == "--net-client") {
+      opt.mode = "net-client";
+    } else if (a == "--net-bench") {
+      opt.mode = "net-bench";
+    } else if (a == "--port") {
+      opt.port = std::atoi(next("--port"));
+    } else if (a == "--port-file") {
+      opt.port_file = next("--port-file");
+    } else if (a == "--result") {
+      opt.result_path = next("--result");
+    } else if (a == "--tenant") {
+      opt.tenant = next("--tenant");
+    } else if (a == "--deadline-ms") {
+      opt.deadline_ms = std::atoll(next("--deadline-ms"));
+    } else if (a == "--read-timeout-ms") {
+      opt.read_timeout_ms = std::atoll(next("--read-timeout-ms"));
+    } else if (a == "--idle-timeout-ms") {
+      opt.idle_timeout_ms = std::atoll(next("--idle-timeout-ms"));
+    } else if (a == "--degrade-high") {
+      opt.degrade_high = std::atoll(next("--degrade-high"));
+    } else if (a == "--shed-high") {
+      opt.shed_high = std::atoll(next("--shed-high"));
+    } else if (a == "--low-water") {
+      opt.low_water = std::atoll(next("--low-water"));
+    } else if (a == "--down-hold") {
+      opt.down_hold = std::atoll(next("--down-hold"));
+    } else if (a == "--client-procs") {
+      opt.client_procs = std::atoi(next("--client-procs"));
+    } else if (a == "--req-base") {
+      opt.req_base = std::atoll(next("--req-base"));
+    } else if (a == "--overload-slo-ms") {
+      opt.overload_slo_ms = std::atoll(next("--overload-slo-ms"));
     } else if (a == "--verify") {
       opt.verify = true;
     } else if (a == "--require-batching") {
@@ -308,6 +1157,10 @@ int tool_main(int argc, char** argv) {
       opt.max_batch < 1 || opt.queue_cap < 1 || opt.width < 1) {
     return usage();
   }
+
+  if (opt.mode == "net-server") return run_net_server(opt);
+  if (opt.mode == "net-client") return run_net_client(opt);
+  if (opt.mode == "net-bench") return run_net_bench(opt);
 
   if (!opt.save_checkpoint.empty()) {
     int classes = 10;
@@ -475,15 +1328,17 @@ int tool_main(int argc, char** argv) {
       if (!res.status.ok()) continue;
       tensor::Tensor expected =
           oracle->run(make_request_input(opt, r, input_chw));
-      if (!bitwise_equal(expected, res.output)) {
-        bit_identical = false;
-        if (!opt.quiet) {
+      const std::int64_t mismatch = first_mismatch(expected, res.output);
+      if (mismatch != -1) {
+        // Always printed (even under --quiet): the (request, element)
+        // pair is the whole point of a verify failure.
+        print_mismatch("verify", r, mismatch, expected, res.output);
+        if (bit_identical && !opt.quiet) {
           std::fprintf(stderr,
-                       "odq_serve: MISMATCH request %lld (batch_size %zu, "
-                       "worker %d)\n",
-                       static_cast<long long>(r), res.batch_size,
-                       res.worker_id);
+                       "odq_serve:   (batch_size %zu, worker %d)\n",
+                       res.batch_size, res.worker_id);
         }
+        bit_identical = false;
       }
       ++verified;
     }
