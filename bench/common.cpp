@@ -13,6 +13,7 @@
 #include "nn/init.hpp"
 #include "nn/models.hpp"
 #include "odq_build_info.h"
+#include "simd/dispatch.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -451,6 +452,9 @@ void json_flush() {
   w.kv("git_sha", ODQ_GIT_SHA);
   w.kv("build_type", ODQ_BUILD_TYPE);
   w.kv("build_flags", ODQ_BUILD_FLAGS);
+  // Which kernel backend produced these numbers; odq_bench_diff refuses to
+  // compare documents whose backends disagree.
+  w.kv("simd_backend", simd::backend_name(simd::active_backend()));
   w.key("rows");
   w.begin_array();
   for (const JsonRow& row : s.rows) {
@@ -554,6 +558,8 @@ void print_header(const std::string& bench, const std::string& reproduces,
   std::printf("reproduces: %s\n", reproduces.c_str());
   std::printf("scale: %s (set ODQ_BENCH_SCALE=full for paper-sized runs)\n",
               scale().name.c_str());
+  std::printf("simd backend: %s (force with ODQ_SIMD=scalar|avx2|neon)\n",
+              simd::backend_name(simd::active_backend()));
   if (!note.empty()) std::printf("note: %s\n", note.c_str());
   std::printf("================================================================\n");
 }

@@ -17,12 +17,19 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 
 #include "gemm/packed.hpp"
+#include "simd/dispatch.hpp"
 #include "tensor/tensor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace odq::gemm {
+
+// The kKTile packing quantum is exactly the SIMD kernels' lane-block size;
+// the depth budget below keeps every int32 lane accumulation exact.
+static_assert(kKTile == simd::kKTileLanes,
+              "packed depth quantum must match the SIMD lane block");
 
 namespace detail {
 
@@ -30,6 +37,10 @@ inline void check_operands(std::int64_t cols_k, std::int64_t cols_kp,
                            std::int64_t wts_k, std::int64_t wts_kp) {
   if (cols_k != wts_k || cols_kp != wts_kp) {
     throw std::invalid_argument("gemm_conv: operand depth mismatch");
+  }
+  if (cols_kp > simd::kMaxDotDepth) {
+    throw std::invalid_argument(
+        "gemm_conv: depth exceeds the int32 accumulator budget");
   }
 }
 
@@ -42,11 +53,20 @@ inline void check_operands(std::int64_t cols_k, std::int64_t cols_kp,
 template <typename Acc>
 void gemm_conv_int(const PackedIm2col& cols, const PackedWeights& wts,
                    int shift, Acc* out) {
+  static_assert(std::is_same_v<Acc, std::int32_t> ||
+                    std::is_same_v<Acc, std::int64_t>,
+                "gemm_conv_int: Acc must be int32 or int64");
   detail::check_operands(cols.k, cols.k_padded, wts.k, wts.k_padded);
   const std::int64_t rows = cols.rows;
   const std::int64_t kp = cols.k_padded;
   const std::int64_t oc = wts.oc;
   const std::int64_t oc_blocks = (oc + kOcTile - 1) / kOcTile;
+  // One kernel-table fetch per call (not per dot): backend flips between
+  // calls (tests, ODQ_SIMD) without an indirect branch in the MAC loop.
+  // k_padded is a multiple of kKTile (16), so the kernels never handle a
+  // tail; integer sums reassociate freely, so every backend stores the
+  // same accumulator bit-for-bit.
+  const simd::Kernels& kk = simd::active_kernels();
   util::parallel_for(
       cols.batches * oc_blocks,
       [&](std::int64_t t0, std::int64_t t1) {
@@ -60,18 +80,13 @@ void gemm_conv_int(const PackedIm2col& cols, const PackedWeights& wts,
               const std::int8_t* a = cols.row(b, r);
               for (std::int64_t f = f0; f < f1; ++f) {
                 const std::int8_t* wrow = wts.row(f);
-                // k_padded is a multiple of kKTile (16), so the 4-wide
-                // unroll never needs a tail; integer sums reassociate
-                // freely without changing the result.
-                Acc s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-                for (std::int64_t p = 0; p < kp; p += 4) {
-                  s0 += static_cast<Acc>(a[p]) * wrow[p];
-                  s1 += static_cast<Acc>(a[p + 1]) * wrow[p + 1];
-                  s2 += static_cast<Acc>(a[p + 2]) * wrow[p + 2];
-                  s3 += static_cast<Acc>(a[p + 3]) * wrow[p + 3];
+                Acc s;
+                if constexpr (std::is_same_v<Acc, std::int64_t>) {
+                  s = kk.dot_i8_acc64(a, wrow, kp);
+                } else {
+                  s = kk.dot_i8(a, wrow, kp);
                 }
-                out[(b * oc + f) * rows + r] = ((s0 + s1) + (s2 + s3))
-                                               << shift;
+                out[(b * oc + f) * rows + r] = s << shift;
               }
             }
           }

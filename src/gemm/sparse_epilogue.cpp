@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace odq::gemm {
@@ -51,6 +52,11 @@ SparseEpilogueStats sparse_result_generation(
   if (cols.high.k != wts.high.k || cols.high.k_padded != wts.high.k_padded) {
     throw std::invalid_argument("sparse_result_generation: depth mismatch");
   }
+  if (kp > simd::kMaxDotDepth) {
+    throw std::invalid_argument(
+        "sparse_result_generation: depth exceeds the int32 accumulator "
+        "budget");
+  }
   if (predictor_acc.numel() != n * oc * rows ||
       acc.numel() != predictor_acc.numel() ||
       mask.numel() != predictor_acc.numel()) {
@@ -75,6 +81,9 @@ SparseEpilogueStats sparse_result_generation(
   const std::int32_t* pred_base = predictor_acc.data();
   std::int32_t* acc_base = acc.data();
   std::uint8_t* mask_base = mask.data();
+  // One kernel-table fetch for the whole epilogue; the packed-row dots over
+  // the compacted lists are the Eq. (3) hot loop.
+  const simd::Kernels& kk = simd::active_kernels();
 
   util::parallel_for(
       tiles,
@@ -106,12 +115,7 @@ SparseEpilogueStats sparse_result_generation(
             const std::int8_t* al = cols.low.row(b, r);
             std::int32_t cross = 0;  // ah*bl + al*bh
             std::int32_t low = 0;    // al*bl
-            for (std::int64_t p = 0; p < kp; ++p) {
-              const std::int32_t x_h = ah[p];
-              const std::int32_t x_l = al[p];
-              cross += x_h * bl[p] + x_l * bh[p];
-              low += x_l * bl[p];
-            }
+            kk.dot_i8_split(ah, al, bh, bl, kp, &cross, &low);
             a[r] += (cross << lb) + low;
             macs += row_macs[static_cast<std::size_t>(r)];
           }

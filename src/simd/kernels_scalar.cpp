@@ -1,0 +1,59 @@
+// Scalar reference kernels — the always-available fallback and the oracle
+// every vector backend is differentially tested against.
+//
+// The 4-wide unroll mirrors the original gemm_conv_int inner loop (kp is a
+// multiple of kKTile = 16, so there is never a tail); integer sums
+// reassociate freely, so the unroll order is irrelevant to the result.
+#include "simd/kernels.hpp"
+
+namespace odq::simd {
+
+namespace {
+
+std::int32_t dot_i8_scalar(const std::int8_t* a, const std::int8_t* b,
+                           std::int64_t kp) {
+  std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::int64_t p = 0; p < kp; p += 4) {
+    s0 += static_cast<std::int32_t>(a[p]) * b[p];
+    s1 += static_cast<std::int32_t>(a[p + 1]) * b[p + 1];
+    s2 += static_cast<std::int32_t>(a[p + 2]) * b[p + 2];
+    s3 += static_cast<std::int32_t>(a[p + 3]) * b[p + 3];
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+std::int64_t dot_i8_acc64_scalar(const std::int8_t* a, const std::int8_t* b,
+                                 std::int64_t kp) {
+  std::int64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::int64_t p = 0; p < kp; p += 4) {
+    s0 += static_cast<std::int64_t>(a[p]) * b[p];
+    s1 += static_cast<std::int64_t>(a[p + 1]) * b[p + 1];
+    s2 += static_cast<std::int64_t>(a[p + 2]) * b[p + 2];
+    s3 += static_cast<std::int64_t>(a[p + 3]) * b[p + 3];
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+void dot_i8_split_scalar(const std::int8_t* ah, const std::int8_t* al,
+                         const std::int8_t* bh, const std::int8_t* bl,
+                         std::int64_t kp, std::int32_t* cross,
+                         std::int32_t* low) {
+  std::int32_t c = 0, l = 0;
+  for (std::int64_t p = 0; p < kp; ++p) {
+    const std::int32_t x_h = ah[p];
+    const std::int32_t x_l = al[p];
+    c += x_h * bl[p] + x_l * bh[p];
+    l += x_l * bl[p];
+  }
+  *cross = c;
+  *low = l;
+}
+
+constexpr Kernels kScalarKernels = {"scalar", dot_i8_scalar,
+                                    dot_i8_acc64_scalar, dot_i8_split_scalar};
+
+}  // namespace
+
+const Kernels& scalar_kernels() { return kScalarKernels; }
+
+}  // namespace odq::simd

@@ -155,6 +155,53 @@ inline QuantConvCase random_quant_conv(util::Rng& rng, const ConvGeom& g,
           quant::quantize_weights(w, bits)};
 }
 
+// A quantized tensor whose codes lean on the representable extremes: each
+// code is qmin or qmax with probability ~1/2 (1/4 each), else uniform in
+// range. Smooth float inputs almost never quantize to runs of saturating
+// codes, but those are exactly the operands a SIMD widen/saturate mistake
+// (e.g. the maddubs sign trick) corrupts first — the SIMD differential
+// suites draw from this generator.
+inline quant::QTensor random_extreme_qtensor(util::Rng& rng,
+                                             tensor::Shape shape, int bits,
+                                             bool is_signed, float scale) {
+  quant::QTensor t;
+  t.q = tensor::TensorI8(std::move(shape));
+  t.scale = scale;
+  t.bits = bits;
+  t.is_signed = is_signed;
+  const int lo = static_cast<int>(t.qmin());
+  const int hi = static_cast<int>(t.qmax());
+  for (std::int64_t i = 0; i < t.q.numel(); ++i) {
+    const double p = rng.uniform();
+    int code;
+    if (p < 0.25) {
+      code = lo;
+    } else if (p < 0.50) {
+      code = hi;
+    } else {
+      code = rng.uniform_int(lo, hi);
+    }
+    t.q[i] = static_cast<std::int8_t>(code);
+  }
+  return t;
+}
+
+// Extreme-leaning quantized conv operands for a geometry: unsigned
+// activation codes, signed symmetric weight codes, random-but-plausible
+// scales so thresholds stay meaningful.
+inline QuantConvCase random_extreme_quant_conv(util::Rng& rng,
+                                               const ConvGeom& g,
+                                               int bits = 4) {
+  QuantConvCase qc;
+  qc.input = random_extreme_qtensor(rng, tensor::Shape{g.n, g.c, g.h, g.w},
+                                    bits, /*is_signed=*/false,
+                                    rng.uniform_f(0.01f, 0.5f));
+  qc.weight = random_extreme_qtensor(rng, tensor::Shape{g.oc, g.c, g.k, g.k},
+                                     bits, /*is_signed=*/true,
+                                     rng.uniform_f(0.005f, 0.1f));
+  return qc;
+}
+
 // Sensitivity threshold mixture: mostly the interesting mid-range
 // (log-uniform over [0.01, 1]), plus the two extremes — 0 (everything
 // sensitive: ODQ must equal the full INT4 conv) and huge (nothing

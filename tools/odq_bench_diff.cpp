@@ -161,12 +161,16 @@ int tool_main(int argc, char** argv) {
                                                    : std::string("?");
   };
   if (!opt.quiet) {
-    std::printf("baseline: %s  (bench=%s scale=%s sha=%s)\n",
+    std::printf("baseline: %s  (bench=%s scale=%s simd=%s sha=%s)\n",
                 opt.baseline_path.c_str(), meta(base, "bench").c_str(),
-                meta(base, "scale").c_str(), meta(base, "git_sha").c_str());
-    std::printf("current:  %s  (bench=%s scale=%s sha=%s)\n",
+                meta(base, "scale").c_str(),
+                meta(base, "simd_backend").c_str(),
+                meta(base, "git_sha").c_str());
+    std::printf("current:  %s  (bench=%s scale=%s simd=%s sha=%s)\n",
                 opt.current_path.c_str(), meta(cur, "bench").c_str(),
-                meta(cur, "scale").c_str(), meta(cur, "git_sha").c_str());
+                meta(cur, "scale").c_str(),
+                meta(cur, "simd_backend").c_str(),
+                meta(cur, "git_sha").c_str());
   }
   if (meta(base, "bench") != meta(cur, "bench")) {
     std::fprintf(stderr, "odq_bench_diff: warning: comparing different "
@@ -177,6 +181,31 @@ int tool_main(int argc, char** argv) {
     std::fprintf(stderr, "odq_bench_diff: warning: different scales "
                          "(%s vs %s) — numbers are not comparable 1:1\n",
                  meta(base, "scale").c_str(), meta(cur, "scale").c_str());
+  }
+  // The SIMD kernel backend is part of comparability: a scalar-backend run
+  // against an AVX2 run measures different machine code, so two documents
+  // that both record the backend but disagree are rejected outright (exit 2,
+  // an input error — not a gate verdict). A document predating the field
+  // (or a run without it) only warns.
+  const bool base_has_simd =
+      base.has("simd_backend") && base.at("simd_backend").is_string();
+  const bool cur_has_simd =
+      cur.has("simd_backend") && cur.at("simd_backend").is_string();
+  if (base_has_simd && cur_has_simd &&
+      base.at("simd_backend").str != cur.at("simd_backend").str) {
+    std::fprintf(stderr,
+                 "odq_bench_diff: simd backend mismatch (%s vs %s) — "
+                 "documents are not comparable\n",
+                 base.at("simd_backend").str.c_str(),
+                 cur.at("simd_backend").str.c_str());
+    return 2;
+  }
+  if (base_has_simd != cur_has_simd) {
+    std::fprintf(stderr,
+                 "odq_bench_diff: warning: only one document records "
+                 "simd_backend (baseline %s, current %s)\n",
+                 meta(base, "simd_backend").c_str(),
+                 meta(cur, "simd_backend").c_str());
   }
 
   if (!base.has("rows") || !cur.has("rows")) {

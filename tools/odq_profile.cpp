@@ -32,6 +32,7 @@
 #include "nn/models.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "simd/dispatch.hpp"
 #include "tool_main.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
@@ -213,6 +214,9 @@ int tool_main(int argc, char** argv) {
     w.kv("threshold", static_cast<double>(opt.threshold));
     w.kv("batch", opt.batch);
     w.kv("batches", opt.batches);
+    // Which SIMD kernel backend served the GEMM + epilogue hot loops — the
+    // phase timings below are meaningless without it.
+    w.kv("simd_backend", simd::backend_name(simd::active_backend()));
     w.kv("total_wall_seconds", total_seconds);
     if (!opt.trace_path.empty()) w.kv("trace_file", opt.trace_path);
     w.key("layers");
@@ -264,6 +268,8 @@ int tool_main(int argc, char** argv) {
     }
 
     if (!opt.quiet) {
+      std::fprintf(stderr, "simd backend: %s\n",
+                   simd::backend_name(simd::active_backend()));
       std::fprintf(stderr,
                    "%-8s %5s %10s %8s %9s %9s %9s %12s %12s %10s\n", "layer",
                    "calls", "wall ms", "sens %", "pack ms", "gemm ms",
